@@ -1,0 +1,85 @@
+// Ablation study of the two tuning parameters the paper fixes globally:
+// the refinement block size k (= 3 in the paper, Section 5.2) and the
+// local-search radius µ (= 10, Section 5.3). For each parameter value the
+// median cost ratio vs ASAP of the strongest variant (pressWR-LS) and its
+// median runtime are reported. Expected shape: k beyond 3 yields little
+// extra quality for more subdivision work; quality improves with µ and
+// saturates, while runtime grows.
+
+#include "bench_common.hpp"
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cawo;
+  using namespace cawo::bench;
+
+  BenchConfig cfg = parseBenchConfig(argc, argv);
+  // A lighter grid: one family per structural archetype, one cluster.
+  std::vector<InstanceSpec> specs;
+  for (const WorkflowFamily family :
+       {WorkflowFamily::Atacseq, WorkflowFamily::Eager}) {
+    for (InstanceSpec spec :
+         fullGrid(family, cfg.tasks, cfg.clusters.front(), cfg.baseSeed,
+                  cfg.numIntervals))
+      specs.push_back(spec);
+  }
+
+  const VariantSpec variant = VariantSpec::parse("pressWR-LS");
+
+  auto evaluate = [&](const CaWoParams& params, std::vector<double>& ratios,
+                      std::vector<double>& times) {
+    for (const InstanceSpec& spec : specs) {
+      const Instance inst = buildInstance(spec);
+      const Cost asap =
+          evaluateCost(inst.gc, inst.profile, scheduleAsap(inst.gc));
+      WallTimer timer;
+      const Schedule s =
+          runVariant(inst.gc, inst.profile, inst.deadline, variant, params);
+      times.push_back(timer.elapsedMs());
+      const Cost own = evaluateCost(inst.gc, inst.profile, s);
+      if (asap == 0) {
+        if (own == 0) ratios.push_back(1.0);
+      } else {
+        ratios.push_back(static_cast<double>(own) /
+                         static_cast<double>(asap));
+      }
+    }
+  };
+
+  printHeading(std::cout,
+               "Ablation — refinement block size k (pressWR-LS, µ=10)");
+  {
+    TextTable table({"k", "median ratio vs ASAP", "median ms"});
+    for (const int k : {1, 2, 3, 4, 5}) {
+      CaWoParams params;
+      params.blockSize = k;
+      std::vector<double> ratios, times;
+      evaluate(params, ratios, times);
+      table.addRow({std::to_string(k), formatFixed(medianOf(ratios), 3),
+                    formatFixed(medianOf(times), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  printHeading(std::cout,
+               "Ablation — local-search radius µ (pressWR-LS, k=3)");
+  {
+    TextTable table({"mu", "median ratio vs ASAP", "median ms"});
+    for (const Time mu : {0, 2, 5, 10, 20, 40}) {
+      CaWoParams params;
+      params.lsRadius = mu;
+      std::vector<double> ratios, times;
+      evaluate(params, ratios, times);
+      table.addRow({std::to_string(mu), formatFixed(medianOf(ratios), 3),
+                    formatFixed(medianOf(times), 2)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: diminishing returns beyond k=3; quality "
+               "saturates in µ while runtime keeps growing — supporting the "
+               "paper's k=3, µ=10 defaults.\n";
+  return 0;
+}

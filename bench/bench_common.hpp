@@ -1,0 +1,119 @@
+#pragma once
+
+// Shared configuration and helpers for the per-figure bench binaries.
+//
+// Every binary runs without arguments at a scaled-down default (minutes,
+// not hours — see DESIGN.md, substitutions) and accepts flags to approach
+// paper scale:
+//   --tasks=N        base workflow size (default 90)
+//   --clusters=a,b   nodes per processor type (default 1,2 — the paper
+//                    uses 12 and 24)
+//   --intervals=J    power-profile intervals (default 16)
+//   --seeds=K        instances per (family, cluster) cell (default 1)
+//   --seed=S         base RNG seed (default 1)
+//   --full           paper-leaning preset (--tasks=400 --clusters=2,4
+//                    --seeds=2) — still laptop-sized
+
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/instance.hpp"
+#include "sim/runner.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace cawo::bench {
+
+struct BenchConfig {
+  int tasks = 90;
+  std::vector<int> clusters{1, 2};
+  int numIntervals = 16;
+  int seedsPerCell = 1;
+  std::uint64_t baseSeed = 1;
+};
+
+inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"tasks", "clusters", "intervals", "seeds", "seed",
+                      "full"});
+  BenchConfig cfg;
+  if (args.has("full")) {
+    cfg.tasks = 400;
+    cfg.clusters = {2, 4};
+    cfg.seedsPerCell = 2;
+  }
+  cfg.tasks = static_cast<int>(args.getInt("tasks", cfg.tasks));
+  cfg.numIntervals = static_cast<int>(args.getInt("intervals",
+                                                  cfg.numIntervals));
+  cfg.seedsPerCell = static_cast<int>(args.getInt("seeds", cfg.seedsPerCell));
+  cfg.baseSeed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  if (args.has("clusters")) {
+    cfg.clusters.clear();
+    for (const std::string& c : split(args.getString("clusters", ""), ','))
+      cfg.clusters.push_back(std::stoi(c));
+  }
+  return cfg;
+}
+
+/// The paper's instance set: every workflow family on every cluster, each
+/// with all 16 power profiles (4 scenarios × 4 deadline factors).
+inline std::vector<InstanceSpec> benchGrid(const BenchConfig& cfg) {
+  std::vector<InstanceSpec> specs;
+  const WorkflowFamily families[] = {
+      WorkflowFamily::Atacseq, WorkflowFamily::Bacass, WorkflowFamily::Eager,
+      WorkflowFamily::Methylseq};
+  for (const WorkflowFamily family : families) {
+    // bacass is the small real-world pipeline in the paper.
+    const int tasks =
+        family == WorkflowFamily::Bacass ? std::max(20, cfg.tasks / 3)
+                                         : cfg.tasks;
+    for (const int cluster : cfg.clusters) {
+      for (int s = 0; s < cfg.seedsPerCell; ++s) {
+        for (InstanceSpec spec :
+             fullGrid(family, tasks, cluster,
+                      cfg.baseSeed + static_cast<std::uint64_t>(s) * 1000,
+                      cfg.numIntervals)) {
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+inline std::vector<InstanceResult> runBenchGrid(const BenchConfig& cfg) {
+  const auto specs = benchGrid(cfg);
+  std::cout << "running " << specs.size() << " instances × "
+            << algorithmNames().size() << " algorithms ...\n";
+  return runSuite(specs);
+}
+
+/// Median cost ratio vs ASAP (index 0) for every CaWoSched variant.
+inline void printMedianRatios(std::ostream& out, const CostMatrix& m,
+                              const std::string& title) {
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (std::size_t a = 1; a < m.numAlgorithms(); ++a) {
+    const auto ratios = ratiosVsBaseline(m, 0, a);
+    if (ratios.empty()) continue;
+    labels.push_back(m.algorithms[a]);
+    values.push_back(medianOf(ratios));
+  }
+  printBarChart(out, title, labels, values);
+}
+
+/// Filter suite results by a predicate on the spec.
+template <typename Pred>
+std::vector<InstanceResult> filterResults(
+    const std::vector<InstanceResult>& results, Pred pred) {
+  std::vector<InstanceResult> out;
+  for (const InstanceResult& r : results)
+    if (pred(r.spec)) out.push_back(r);
+  return out;
+}
+
+} // namespace cawo::bench

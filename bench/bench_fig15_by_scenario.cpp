@@ -1,0 +1,31 @@
+// Figure 15 — cost ratios vs ASAP split by the power-profile scenario.
+// Expected shape (paper): the heuristics achieve their biggest gains on
+// S1 (solar day) and S3 (24 h sine) where little green power is available
+// at the beginning; ASAP is relatively stronger on S2 (green at the start)
+// and S4 (constant).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cawo;
+  using namespace cawo::bench;
+
+  const BenchConfig cfg = parseBenchConfig(argc, argv);
+  const auto results = runBenchGrid(cfg);
+
+  for (const Scenario scenario :
+       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
+    const auto subset = filterResults(results, [&](const InstanceSpec& s) {
+      return s.scenario == scenario;
+    });
+    if (subset.empty()) continue;
+    const CostMatrix m = toCostMatrix(subset);
+    printHeading(std::cout, std::string("Figure 15 — median cost ratio vs "
+                                        "ASAP, scenario ") +
+                                scenarioName(scenario));
+    printMedianRatios(std::cout, m, "");
+  }
+  std::cout << "\nExpected shape: lowest ratios (biggest savings) on S1 and "
+               "S3; ASAP comparatively strong on S2 and S4.\n";
+  return 0;
+}

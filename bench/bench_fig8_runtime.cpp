@@ -1,0 +1,69 @@
+// Figure 8 (and appendix Figure 12) — scheduler running time per algorithm
+// variant, overall and for the largest workflows in the run. Expected
+// shape: all variants are within a reasonable slowdown of ASAP; refined
+// (R) variants and local search add the most time; runtime grows with the
+// workflow size.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+int main(int argc, char** argv) {
+  using namespace cawo;
+  using namespace cawo::bench;
+
+  const BenchConfig cfg = parseBenchConfig(argc, argv);
+  const auto results = runBenchGrid(cfg);
+  const auto names = algorithmNames();
+
+  auto timeStats = [&](const std::vector<InstanceResult>& subset) {
+    std::vector<std::vector<double>> times(names.size());
+    for (const InstanceResult& r : subset)
+      for (std::size_t a = 0; a < r.runs.size(); ++a)
+        times[a].push_back(r.runs[a].millis);
+    return times;
+  };
+
+  printHeading(std::cout, "Figure 8 — running time per algorithm (ms, " +
+                              std::to_string(results.size()) +
+                              " instances)");
+  {
+    const auto times = timeStats(results);
+    TextTable table({"algorithm", "median ms", "mean ms", "max ms"});
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      const double maxV =
+          *std::max_element(times[a].begin(), times[a].end());
+      table.addRow({names[a], formatFixed(medianOf(times[a]), 2),
+                    formatFixed(meanOf(times[a]), 2),
+                    formatFixed(maxV, 2)});
+    }
+    table.print(std::cout);
+  }
+
+  // Figure 12: restrict to the largest workflows in this run.
+  TaskId largest = 0;
+  for (const InstanceResult& r : results)
+    largest = std::max(largest, r.numNodes);
+  std::vector<InstanceResult> bigOnly;
+  for (const InstanceResult& r : results)
+    if (r.numNodes >= largest * 3 / 4) bigOnly.push_back(r);
+
+  printHeading(std::cout, "Figure 12 — running time on the largest "
+                          "workflows only (" +
+                              std::to_string(bigOnly.size()) + " instances)");
+  {
+    const auto times = timeStats(bigOnly);
+    TextTable table({"algorithm", "median ms", "max ms"});
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      if (times[a].empty()) continue;
+      const double maxV =
+          *std::max_element(times[a].begin(), times[a].end());
+      table.addRow({names[a], formatFixed(medianOf(times[a]), 2),
+                    formatFixed(maxV, 2)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: moderate slowdown vs ASAP; R variants and "
+               "-LS cost the most; larger workflows dominate the tail.\n";
+  return 0;
+}

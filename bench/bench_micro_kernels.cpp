@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels:
+// carbon-cost evaluation, EST/LST passes, interval refinement, greedy
+// scheduling, local search, and the two incremental data structures.
+
+#include <benchmark/benchmark.h>
+
+#include "core/asap.hpp"
+#include "core/budget_tree.hpp"
+#include "core/carbon_cost.hpp"
+#include "core/cawosched.hpp"
+#include "core/est_lst.hpp"
+#include "core/greedy.hpp"
+#include "core/interval_refinement.hpp"
+#include "core/local_search.hpp"
+#include "core/power_timeline.hpp"
+#include "heft/heft.hpp"
+#include "profile/scenario.hpp"
+#include "sim/instance.hpp"
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace {
+
+using namespace cawo;
+
+Instance makeInstance(int tasks) {
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Atacseq;
+  spec.targetTasks = tasks;
+  spec.nodesPerType = 1;
+  spec.scenario = Scenario::S1;
+  spec.deadlineFactor = 2.0;
+  spec.numIntervals = 16;
+  spec.seed = 99;
+  return buildInstance(spec);
+}
+
+void BM_EvaluateCost(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const Schedule s = scheduleAsap(inst.gc);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(evaluateCost(inst.gc, inst.profile, s));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateCost)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+
+void BM_EstLst(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeEst(inst.gc));
+    benchmark::DoNotOptimize(computeLst(inst.gc, inst.deadline));
+  }
+}
+BENCHMARK(BM_EstLst)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_Heft(benchmark::State& state) {
+  WorkflowGenOptions opts;
+  opts.targetTasks = static_cast<int>(state.range(0));
+  opts.seed = 3;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Methylseq, opts);
+  const Platform pf = Platform::scaled(2);
+  for (auto _ : state) benchmark::DoNotOptimize(runHeft(g, pf));
+}
+BENCHMARK(BM_Heft)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_Refinement(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(refineIntervals(inst.gc, inst.profile, 3));
+}
+BENCHMARK(BM_Refinement)->Arg(50)->Arg(200);
+
+void BM_GreedyPressWR(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  GreedyOptions opts{BaseScore::Pressure, true, true, 3};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        scheduleGreedy(inst.gc, inst.profile, inst.deadline, opts));
+}
+BENCHMARK(BM_GreedyPressWR)->Arg(50)->Arg(200);
+
+void BM_LocalSearch(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  GreedyOptions opts{BaseScore::Pressure, true, true, 3};
+  const Schedule base =
+      scheduleGreedy(inst.gc, inst.profile, inst.deadline, opts);
+  for (auto _ : state) {
+    Schedule s = base;
+    localSearch(inst.gc, inst.profile, inst.deadline, s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LocalSearch)->Arg(50)->Arg(200);
+
+void BM_BudgetTreeOps(benchmark::State& state) {
+  const Time horizon = 100000;
+  std::vector<Time> begins;
+  std::vector<Power> budgets;
+  for (Time t = 0; t < horizon; t += 10) {
+    begins.push_back(t);
+    budgets.push_back(t % 97);
+  }
+  Rng rng(5);
+  BudgetTree tree(begins, budgets, horizon);
+  for (auto _ : state) {
+    const Time a = rng.uniformInt(0, horizon - 100);
+    tree.consume(a, a + 50, 3);
+    benchmark::DoNotOptimize(tree.maxInRange(a, a + 5000));
+  }
+}
+BENCHMARK(BM_BudgetTreeOps);
+
+void BM_PowerTimelineMoveDelta(benchmark::State& state) {
+  PowerProfile profile;
+  for (int j = 0; j < 24; ++j) profile.appendInterval(100, j * 7 % 50);
+  PowerTimeline timeline(profile, 100);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Time a = rng.uniformInt(0, 2300);
+    timeline.addLoad(a, a + rng.uniformInt(1, 80), rng.uniformInt(1, 20));
+  }
+  for (auto _ : state) {
+    const Time a = rng.uniformInt(0, 2200);
+    const Time b = rng.uniformInt(0, 2200);
+    benchmark::DoNotOptimize(timeline.moveDelta(a, a + 60, b, b + 60, 5));
+  }
+}
+BENCHMARK(BM_PowerTimelineMoveDelta);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// A realistic scenario from the paper's evaluation: an nf-core-style
+// ATAC-seq genomics pipeline, HEFT-mapped onto a heterogeneous cluster,
+// scheduled under all four green-energy scenarios and all four deadline
+// factors. Prints the carbon cost of ASAP and the best CaWoSched variant
+// for each of the 16 power profiles.
+//
+//   $ ./genomics_pipeline [--tasks=150] [--seed=7]
+
+#include <iostream>
+
+#include "core/carbon_cost.hpp"
+#include "sim/instance.hpp"
+#include "sim/runner.hpp"
+#include "sim/table.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cawo;
+
+  const CliArgs args(argc, argv, {"tasks", "seed"});
+  const int tasks = static_cast<int>(args.getInt("tasks", 150));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+
+  std::cout << "ATAC-seq pipeline with ~" << tasks
+            << " tasks on a 12-node heterogeneous cluster\n";
+
+  TextTable table({"scenario", "deadline", "ASAP cost", "best variant",
+                   "best cost", "ratio"});
+  for (const InstanceSpec& spec :
+       fullGrid(WorkflowFamily::Atacseq, tasks, 2, seed)) {
+    const Instance inst = buildInstance(spec);
+    const InstanceResult result = runAllOnInstance(inst);
+    const Cost asap = result.runs[0].cost;
+    std::size_t best = 1;
+    for (std::size_t a = 2; a < result.runs.size(); ++a)
+      if (result.runs[a].cost < result.runs[best].cost) best = a;
+    const Cost bestCost = result.runs[best].cost;
+    const std::string ratio =
+        asap == 0 ? "-" : formatFixed(static_cast<double>(bestCost) /
+                                          static_cast<double>(asap),
+                                      3);
+    table.addRow({scenarioName(spec.scenario),
+                  formatFixed(spec.deadlineFactor, 1) + "·D",
+                  std::to_string(asap), result.runs[best].algorithm,
+                  std::to_string(bestCost), ratio});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide: ratios well below 1.0 mean CaWoSched "
+               "shifted work into green windows; gains grow with the "
+               "deadline factor and are largest on S1/S3.\n";
+  return 0;
+}

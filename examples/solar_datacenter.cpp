@@ -1,0 +1,94 @@
+// A solar-powered data center day: an eager (ancient-DNA) workflow runs
+// under an S1 profile (morning ramp, midday peak, evening decline). The
+// example prints all 17 algorithms with their carbon cost and an hourly
+// brown-energy histogram for ASAP vs the winner, showing *when* the two
+// schedules burn brown power.
+//
+//   $ ./solar_datacenter [--tasks=120] [--deadline-factor=3.0]
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "core/cawosched.hpp"
+#include "sim/instance.hpp"
+#include "sim/runner.hpp"
+#include "sim/table.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cawo;
+
+  const CliArgs args(argc, argv, {"tasks", "deadline-factor", "seed"});
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Eager;
+  spec.targetTasks = static_cast<int>(args.getInt("tasks", 120));
+  spec.nodesPerType = 2;
+  spec.scenario = Scenario::S1;
+  spec.deadlineFactor = args.getDouble("deadline-factor", 3.0);
+  spec.numIntervals = 24; // one "hour" per interval
+  spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 21));
+
+  const Instance inst = buildInstance(spec);
+  std::cout << "eager workflow: " << inst.graph.numTasks() << " tasks ("
+            << inst.gc.numNodes() << " enhanced nodes), deadline "
+            << inst.deadline << " = " << spec.deadlineFactor
+            << "×ASAP makespan, 24 'hourly' solar intervals\n\n";
+
+  const InstanceResult result = runAllOnInstance(inst);
+  std::vector<std::size_t> order(result.runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.runs[a].cost < result.runs[b].cost;
+  });
+
+  TextTable table({"rank", "algorithm", "carbon cost", "vs ASAP", "ms"});
+  const Cost asapCost = result.runs[0].cost;
+  int rank = 1;
+  for (const std::size_t i : order) {
+    const auto& run = result.runs[i];
+    const std::string ratio =
+        asapCost == 0 ? "-" : formatFixed(static_cast<double>(run.cost) /
+                                              static_cast<double>(asapCost),
+                                          3);
+    table.addRow({std::to_string(rank++), run.algorithm,
+                  std::to_string(run.cost), ratio,
+                  formatFixed(run.millis, 1)});
+  }
+  table.print(std::cout);
+
+  // Hourly brown-power histograms: where does each schedule pollute?
+  const Schedule asap = scheduleAsap(inst.gc);
+  const VariantSpec bestSpec =
+      VariantSpec::parse(result.runs[order[0]].algorithm == "ASAP"
+                             ? "pressWR-LS"
+                             : result.runs[order[0]].algorithm);
+  const Schedule best =
+      runVariant(inst.gc, inst.profile, inst.deadline, bestSpec);
+
+  const CostBreakdown asapB =
+      evaluateCostBreakdown(inst.gc, inst.profile, asap);
+  const CostBreakdown bestB =
+      evaluateCostBreakdown(inst.gc, inst.profile, best);
+
+  auto histogram = [&](const char* name, const CostBreakdown& b) {
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (std::size_t j = 0; j < b.perInterval.size(); ++j) {
+      labels.push_back("h" + std::to_string(j));
+      values.push_back(static_cast<double>(b.perInterval[j]));
+    }
+    printBarChart(std::cout, std::string("brown energy per hour — ") + name,
+                  labels, values, 40, 0);
+  };
+  std::cout << "\n";
+  histogram("ASAP", asapB);
+  std::cout << "\n";
+  histogram(bestSpec.name().c_str(), bestB);
+  std::cout << "\nASAP burns brown power in the dark morning hours; the "
+               "carbon-aware schedule defers work into the midday solar "
+               "peak.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "core/asap.hpp"
+
+#include <algorithm>
+
+namespace cawo {
+
+Schedule scheduleAsap(const EnhancedGraph& gc) {
+  const std::vector<Time> est = computeEst(gc);
+  Schedule s(gc.numNodes());
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    s.setStart(u, est[static_cast<std::size_t>(u)]);
+  return s;
+}
+
+Time asapMakespan(const EnhancedGraph& gc) {
+  const std::vector<Time> est = computeEst(gc);
+  Time m = 0;
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    m = std::max(m, est[static_cast<std::size_t>(u)] + gc.len(u));
+  return m;
+}
+
+} // namespace cawo

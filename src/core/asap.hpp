@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/est_lst.hpp"
+#include "core/schedule.hpp"
+
+/// \file asap.hpp
+/// The carbon-unaware ASAP baseline (Section 5.1): every node starts at its
+/// earliest possible start time. Its makespan `D` is the tightest feasible
+/// deadline for the instance and anchors the paper's deadline factors
+/// {1.0, 1.5, 2.0, 3.0} · D.
+
+namespace cawo {
+
+/// Schedule every node of `gc` at its EST.
+Schedule scheduleAsap(const EnhancedGraph& gc);
+
+/// Makespan of the ASAP schedule (= the paper's `D`).
+Time asapMakespan(const EnhancedGraph& gc);
+
+} // namespace cawo

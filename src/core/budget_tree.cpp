@@ -1,0 +1,238 @@
+#include "core/budget_tree.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cawo {
+
+/// Treap node. `maxBudget` aggregates the subtree *including* pending lazy
+/// additions of descendants but excluding this node's own `lazy` (which is
+/// owed to the whole subtree by the parent chain).
+struct BudgetTree::Node {
+  Time key;        // segment begin
+  Power budget;    // own budget (lazy of ancestors not yet applied)
+  Power maxBudget; // max over subtree (own lazy applied by pushDown)
+  Power lazy = 0;  // pending addition for the whole subtree
+  std::uint64_t prio;
+  Node* left = nullptr;
+  Node* right = nullptr;
+
+  Node(Time k, Power b, std::uint64_t p)
+      : key(k), budget(b), maxBudget(b), prio(p) {}
+};
+
+struct BudgetTree::Impl {
+  Node* root = nullptr;
+  Rng rng;
+  std::size_t count = 0;
+
+  explicit Impl(std::uint64_t seed) : rng(seed) {}
+
+  ~Impl() { destroy(root); }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  static Power maxOf(Node* n) {
+    return n != nullptr ? n->maxBudget + n->lazy
+                        : std::numeric_limits<Power>::min();
+  }
+
+  static void pull(Node* n) {
+    n->maxBudget = std::max({n->budget, maxOf(n->left), maxOf(n->right)});
+  }
+
+  static void push(Node* n) {
+    if (n->lazy == 0) return;
+    n->budget += n->lazy;
+    n->maxBudget += n->lazy;
+    if (n->left != nullptr) n->left->lazy += n->lazy;
+    if (n->right != nullptr) n->right->lazy += n->lazy;
+    n->lazy = 0;
+  }
+
+  /// Split into keys < key (lo) and keys >= key (hi).
+  static void split(Node* n, Time key, Node*& lo, Node*& hi) {
+    if (n == nullptr) {
+      lo = hi = nullptr;
+      return;
+    }
+    push(n);
+    if (n->key < key) {
+      split(n->right, key, n->right, hi);
+      lo = n;
+      pull(lo);
+    } else {
+      split(n->left, key, lo, n->left);
+      hi = n;
+      pull(hi);
+    }
+  }
+
+  static Node* merge(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (a->prio > b->prio) {
+      push(a);
+      a->right = merge(a->right, b);
+      pull(a);
+      return a;
+    }
+    push(b);
+    b->left = merge(a, b->left);
+    pull(b);
+    return b;
+  }
+
+  /// Largest key <= t, with its (lazy-adjusted) budget.
+  Node* floorNode(Time t, Power& budgetOut) const {
+    Node* n = root;
+    Node* best = nullptr;
+    Power acc = 0;
+    Power bestBudget = 0;
+    while (n != nullptr) {
+      acc += n->lazy;
+      if (n->key <= t) {
+        best = n;
+        bestBudget = n->budget + acc;
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    budgetOut = bestBudget;
+    return best;
+  }
+
+  /// Earliest node with maximum budget in subtree (after push-downs).
+  static void argmaxEarliest(Node* n, Power target, bool& done, Time& key) {
+    if (n == nullptr || done) return;
+    push(n);
+    if (maxOf(n->left) == target) {
+      argmaxEarliest(n->left, target, done, key);
+      if (done) return;
+    }
+    if (n->budget == target) {
+      key = n->key;
+      done = true;
+      return;
+    }
+    argmaxEarliest(n->right, target, done, key);
+  }
+};
+
+BudgetTree::BudgetTree(std::vector<Time> begins, std::vector<Power> budgets,
+                       Time horizon, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(seed)), horizon_(horizon) {
+  CAWO_REQUIRE(begins.size() == budgets.size(), "begins/budgets mismatch");
+  CAWO_REQUIRE(!begins.empty(), "need at least one segment");
+  CAWO_REQUIRE(begins.front() == 0, "first segment must start at 0");
+  for (std::size_t i = 1; i < begins.size(); ++i)
+    CAWO_REQUIRE(begins[i] > begins[i - 1], "begins must be increasing");
+  CAWO_REQUIRE(begins.back() < horizon, "last segment begin beyond horizon");
+
+  // Build a balanced treap directly from the sorted sequence.
+  for (std::size_t i = 0; i < begins.size(); ++i) {
+    Node* node = new Node(begins[i], budgets[i], impl_->rng.next());
+    impl_->root = Impl::merge(impl_->root, node);
+  }
+  impl_->count = begins.size();
+}
+
+BudgetTree::~BudgetTree() = default;
+BudgetTree::BudgetTree(BudgetTree&&) noexcept = default;
+BudgetTree& BudgetTree::operator=(BudgetTree&&) noexcept = default;
+
+void BudgetTree::splitAt(Time t) {
+  if (t <= 0 || t >= horizon_) return;
+  Power budget = 0;
+  Node* floor = impl_->floorNode(t, budget);
+  CAWO_ASSERT(floor != nullptr, "no segment contains t");
+  if (floor->key == t) return;
+  // Insert a new segment at t with the same budget as its container.
+  Node *lo = nullptr, *hi = nullptr;
+  Impl::split(impl_->root, t, lo, hi);
+  Node* node = new Node(t, budget, impl_->rng.next());
+  impl_->root = Impl::merge(Impl::merge(lo, node), hi);
+  ++impl_->count;
+}
+
+void BudgetTree::addRange(Time a, Time b, Power delta) {
+  if (a >= b || delta == 0) return;
+  Node *lo = nullptr, *mid = nullptr, *hi = nullptr;
+  Impl::split(impl_->root, a, lo, mid);
+  Impl::split(mid, b, mid, hi);
+  if (mid != nullptr) mid->lazy += delta;
+  impl_->root = Impl::merge(Impl::merge(lo, mid), hi);
+}
+
+void BudgetTree::consume(Time a, Time b, Power amount) {
+  if (a >= b || amount == 0) return;
+  CAWO_REQUIRE(a >= 0 && b <= horizon_, "consume outside horizon");
+  splitAt(a);
+  splitAt(b);
+  addRange(a, b, -amount);
+}
+
+BudgetTree::MaxResult BudgetTree::maxInRange(Time lo, Time hi) const {
+  MaxResult res;
+  if (lo > hi) return res;
+  Node *l = nullptr, *m = nullptr, *r = nullptr;
+  Impl::split(impl_->root, lo, l, m);
+  Impl::split(m, hi + 1, m, r);
+  if (m != nullptr) {
+    res.found = true;
+    res.budget = Impl::maxOf(m);
+    bool done = false;
+    Impl::argmaxEarliest(m, res.budget, done, res.begin);
+    CAWO_ASSERT(done, "argmax not found despite non-empty range");
+  }
+  impl_->root = Impl::merge(Impl::merge(l, m), r);
+  return res;
+}
+
+Power BudgetTree::budgetAt(Time t) const {
+  CAWO_REQUIRE(t >= 0 && t < horizon_, "time outside horizon");
+  Power budget = 0;
+  Node* n = impl_->floorNode(t, budget);
+  CAWO_ASSERT(n != nullptr, "no segment contains t");
+  return budget;
+}
+
+std::size_t BudgetTree::size() const { return impl_->count; }
+
+std::vector<std::pair<Time, Power>> BudgetTree::dump() const {
+  std::vector<std::pair<Time, Power>> out;
+  out.reserve(impl_->count);
+  // Iterative in-order walk with explicit lazy accumulation.
+  struct Frame {
+    Node* node;
+    Power acc;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  if (impl_->root != nullptr) stack.push_back({impl_->root, 0, false});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.node == nullptr) continue;
+    const Power acc = f.acc + f.node->lazy;
+    if (f.expanded) {
+      out.emplace_back(f.node->key, f.node->budget + f.acc + f.node->lazy);
+      continue;
+    }
+    // In-order: right first on the stack, then self, then left.
+    if (f.node->right != nullptr) stack.push_back({f.node->right, acc, false});
+    stack.push_back({f.node, f.acc, true});
+    if (f.node->left != nullptr) stack.push_back({f.node->left, acc, false});
+  }
+  return out;
+}
+
+} // namespace cawo

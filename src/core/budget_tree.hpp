@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file budget_tree.hpp
+/// Ordered segment store with range-decrement and range-argmax, used by the
+/// greedy scheduler (Section 5.2) to pick "the interval with the highest
+/// budget whose begin lies in [EST, LST]" in O(log S) instead of a linear
+/// scan over up to millions of refined subintervals.
+///
+/// Implemented as a treap keyed by segment begin time, augmented with the
+/// subtree maximum budget, with lazy range-add. Ties on the maximum are
+/// broken toward the earliest segment, as the paper requires.
+
+namespace cawo {
+
+class BudgetTree {
+public:
+  /// Build from contiguous segments: `begins` strictly increasing,
+  /// `budgets` parallel. `horizon` is the exclusive end of the last segment.
+  BudgetTree(std::vector<Time> begins, std::vector<Power> budgets,
+             Time horizon, std::uint64_t seed = 0x7ee9);
+
+  ~BudgetTree();
+  BudgetTree(BudgetTree&&) noexcept;
+  BudgetTree& operator=(BudgetTree&&) noexcept;
+  BudgetTree(const BudgetTree&) = delete;
+  BudgetTree& operator=(const BudgetTree&) = delete;
+
+  /// Ensure a segment boundary exists at `t` (splits the segment containing
+  /// t; no-op if t is already a boundary or outside (0, horizon)).
+  void splitAt(Time t);
+
+  /// Add `delta` (may be negative) to the budget of every segment whose
+  /// begin lies in [a, b). Callers should splitAt(a) and splitAt(b) first so
+  /// that the range aligns with the intended time window.
+  void addRange(Time a, Time b, Power delta);
+
+  /// Decrement budgets over the *time window* [a, b): splits at a and b,
+  /// then subtracts `amount` from every covered segment.
+  void consume(Time a, Time b, Power amount);
+
+  struct MaxResult {
+    bool found = false;
+    Time begin = 0;   ///< earliest segment begin achieving the max
+    Power budget = 0; ///< the maximum budget in range
+  };
+
+  /// Earliest segment with maximum budget among segments whose begin lies
+  /// in [lo, hi] (inclusive).
+  MaxResult maxInRange(Time lo, Time hi) const;
+
+  /// Budget of the segment containing time t.
+  Power budgetAt(Time t) const;
+
+  /// Number of segments (diagnostic).
+  std::size_t size() const;
+
+  /// All (begin, budget) pairs in order — O(S), for tests.
+  std::vector<std::pair<Time, Power>> dump() const;
+
+  Time horizon() const { return horizon_; }
+
+private:
+  struct Node;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Time horizon_ = 0;
+};
+
+} // namespace cawo

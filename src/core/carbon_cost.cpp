@@ -1,0 +1,132 @@
+#include "core/carbon_cost.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+namespace {
+
+/// Sorted unique breakpoints: all interval boundaries plus all task start
+/// and end events, restricted to [0, end of schedule/profile].
+struct SweepData {
+  std::vector<Time> breakpoints;
+  std::vector<std::pair<Time, Power>> deltas; // (time, +/- work power)
+};
+
+SweepData prepareSweep(const EnhancedGraph& gc, const PowerProfile& profile,
+                       const Schedule& s) {
+  SweepData data;
+  data.breakpoints.reserve(profile.numIntervals() + 1 +
+                           2 * static_cast<std::size_t>(gc.numNodes()));
+  for (Time b : profile.boundaries()) data.breakpoints.push_back(b);
+
+  data.deltas.reserve(2 * static_cast<std::size_t>(gc.numNodes()));
+  for (TaskId u = 0; u < gc.numNodes(); ++u) {
+    CAWO_REQUIRE(s.isSet(u), "schedule is incomplete");
+    if (gc.len(u) == 0) continue; // zero-length nodes draw no power
+    const Time a = s.start(u);
+    const Time b = s.end(u, gc);
+    CAWO_REQUIRE(a >= 0, "negative start time");
+    CAWO_REQUIRE(b <= profile.horizon(),
+                 "schedule exceeds the profile horizon");
+    const Power w = gc.workPower(gc.procOf(u));
+    data.deltas.emplace_back(a, w);
+    data.deltas.emplace_back(b, -w);
+    data.breakpoints.push_back(a);
+    data.breakpoints.push_back(b);
+  }
+  std::sort(data.breakpoints.begin(), data.breakpoints.end());
+  data.breakpoints.erase(
+      std::unique(data.breakpoints.begin(), data.breakpoints.end()),
+      data.breakpoints.end());
+  std::sort(data.deltas.begin(), data.deltas.end());
+  return data;
+}
+
+} // namespace
+
+Cost evaluateCost(const EnhancedGraph& gc, const PowerProfile& profile,
+                  const Schedule& s) {
+  const SweepData data = prepareSweep(gc, profile, s);
+  const Power base = gc.totalIdlePower();
+
+  Cost total = 0;
+  Power active = 0;
+  std::size_t di = 0;
+  std::size_t interval = 0;
+  const auto intervals = profile.intervals();
+
+  for (std::size_t k = 0; k + 1 < data.breakpoints.size(); ++k) {
+    const Time t0 = data.breakpoints[k];
+    const Time t1 = data.breakpoints[k + 1];
+    while (di < data.deltas.size() && data.deltas[di].first <= t0)
+      active += data.deltas[di++].second;
+    while (interval + 1 < intervals.size() && intervals[interval].end <= t0)
+      ++interval;
+    const Power over = base + active - intervals[interval].green;
+    if (over > 0) total += static_cast<Cost>(over) * (t1 - t0);
+  }
+  return total;
+}
+
+Cost evaluateCostReference(const EnhancedGraph& gc, const PowerProfile& profile,
+                           const Schedule& s) {
+  const Time horizon = profile.horizon();
+  std::vector<Power> power(static_cast<std::size_t>(horizon),
+                           gc.totalIdlePower());
+  for (TaskId u = 0; u < gc.numNodes(); ++u) {
+    CAWO_REQUIRE(s.isSet(u), "schedule is incomplete");
+    const Power w = gc.workPower(gc.procOf(u));
+    const Time a = s.start(u);
+    const Time b = s.end(u, gc);
+    CAWO_REQUIRE(a >= 0 && b <= horizon, "schedule outside horizon");
+    for (Time t = a; t < b; ++t) power[static_cast<std::size_t>(t)] += w;
+  }
+  Cost total = 0;
+  for (Time t = 0; t < horizon; ++t) {
+    const Power over = power[static_cast<std::size_t>(t)] - profile.greenAt(t);
+    if (over > 0) total += over;
+  }
+  return total;
+}
+
+CostBreakdown evaluateCostBreakdown(const EnhancedGraph& gc,
+                                    const PowerProfile& profile,
+                                    const Schedule& s) {
+  const SweepData data = prepareSweep(gc, profile, s);
+  const Power base = gc.totalIdlePower();
+
+  CostBreakdown out;
+  out.perInterval.assign(profile.numIntervals(), 0);
+  Power active = 0;
+  std::size_t di = 0;
+  std::size_t interval = 0;
+  const auto intervals = profile.intervals();
+
+  for (std::size_t k = 0; k + 1 < data.breakpoints.size(); ++k) {
+    const Time t0 = data.breakpoints[k];
+    const Time t1 = data.breakpoints[k + 1];
+    while (di < data.deltas.size() && data.deltas[di].first <= t0)
+      active += data.deltas[di++].second;
+    while (interval + 1 < intervals.size() && intervals[interval].end <= t0)
+      ++interval;
+    const Power total = base + active;
+    out.peakPower = std::max(out.peakPower, total);
+    const Power green = intervals[interval].green;
+    const Time span = t1 - t0;
+    const Power over = total - green;
+    if (over > 0) {
+      out.perInterval[interval] += static_cast<Cost>(over) * span;
+      out.total += static_cast<Cost>(over) * span;
+      out.brownEnergyUsed += static_cast<Cost>(over) * span;
+      out.greenEnergyUsed += static_cast<Cost>(green) * span;
+    } else {
+      out.greenEnergyUsed += static_cast<Cost>(total) * span;
+    }
+  }
+  return out;
+}
+
+} // namespace cawo

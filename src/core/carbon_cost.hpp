@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "core/schedule.hpp"
+#include "util/types.hpp"
+
+/// \file carbon_cost.hpp
+/// Carbon cost of a schedule (Section 3 / Appendix A.1).
+///
+/// At time t in interval I_j the platform draws
+///   P_t = Σ_i P_idle^i + Σ_{u active at t} P_work^{proc(u)}
+/// and the carbon cost is CC_t = max(P_t − G_j, 0). The total is Σ_t CC_t.
+///
+/// `evaluateCost` is the polynomial sweep-line evaluator of Appendix A.1
+/// (subintervals between task start/end events and interval boundaries);
+/// `evaluateCostReference` loops over individual time units and exists to
+/// cross-check the sweep in tests (pseudo-polynomial, O(T + N)).
+
+namespace cawo {
+
+/// Polynomial carbon-cost evaluation, O((N + J) log(N + J)).
+/// The schedule must be complete; it may run past the profile horizon only
+/// if the caller extended the profile accordingly.
+Cost evaluateCost(const EnhancedGraph& gc, const PowerProfile& profile,
+                  const Schedule& s);
+
+/// Pseudo-polynomial reference evaluation (test oracle).
+Cost evaluateCostReference(const EnhancedGraph& gc, const PowerProfile& profile,
+                           const Schedule& s);
+
+/// Per-interval cost decomposition (for reporting / plotting).
+struct CostBreakdown {
+  Cost total = 0;
+  std::vector<Cost> perInterval;  ///< aligned with profile.intervals()
+  Power peakPower = 0;            ///< max P_t over the horizon
+  Cost greenEnergyUsed = 0;       ///< Σ_t min(P_t, G_t)
+  Cost brownEnergyUsed = 0;       ///< Σ_t max(P_t − G_t, 0) == total
+};
+
+CostBreakdown evaluateCostBreakdown(const EnhancedGraph& gc,
+                                    const PowerProfile& profile,
+                                    const Schedule& s);
+
+} // namespace cawo

@@ -1,0 +1,60 @@
+#include "core/cawosched.hpp"
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+std::string VariantSpec::name() const {
+  std::string s = (base == BaseScore::Slack) ? "slack" : "press";
+  if (weighted) s += "W";
+  if (refined) s += "R";
+  if (localSearch) s += "-LS";
+  return s;
+}
+
+VariantSpec VariantSpec::parse(const std::string& name) {
+  for (const VariantSpec& v : allVariants())
+    if (v.name() == name) return v;
+  throw PreconditionError("unknown CaWoSched variant: " + name);
+}
+
+std::vector<VariantSpec> allVariants() {
+  std::vector<VariantSpec> out;
+  for (const bool ls : {false, true}) {
+    for (const BaseScore base : {BaseScore::Slack, BaseScore::Pressure}) {
+      for (const bool refined : {false, true}) {
+        for (const bool weighted : {false, true}) {
+          // Order within a base: plain, W, R, WR (paper naming order).
+          out.push_back(VariantSpec{base, weighted, refined, ls});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VariantSpec> greedyOnlyVariants() {
+  std::vector<VariantSpec> out;
+  for (const VariantSpec& v : allVariants())
+    if (!v.localSearch) out.push_back(v);
+  return out;
+}
+
+Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
+                    Time deadline, const VariantSpec& spec,
+                    const CaWoParams& params) {
+  GreedyOptions gopts;
+  gopts.base = spec.base;
+  gopts.weighted = spec.weighted;
+  gopts.refined = spec.refined;
+  gopts.blockSize = params.blockSize;
+  Schedule s = scheduleGreedy(gc, profile, deadline, gopts);
+  if (spec.localSearch) {
+    LocalSearchOptions lopts;
+    lopts.radius = params.lsRadius;
+    localSearch(gc, profile, deadline, s, lopts);
+  }
+  return s;
+}
+
+} // namespace cawo

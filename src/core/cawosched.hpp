@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/enhanced_graph.hpp"
+#include "core/greedy.hpp"
+#include "core/local_search.hpp"
+#include "core/power_profile.hpp"
+#include "core/schedule.hpp"
+
+/// \file cawosched.hpp
+/// Facade over the CaWoSched heuristic family (Section 5).
+///
+/// A variant is identified by four switches:
+///   base score   slack | pressure        → prefix "slack" / "press"
+///   weighted     account for proc power  → suffix "W"
+///   refined      k-block interval subdivision → suffix "R"
+///   local search hill-climbing pass      → suffix "-LS"
+/// yielding the paper's 16 heuristics (slack, slackW, slackR, slackWR,
+/// press, pressW, pressR, pressWR — each with and without -LS).
+
+namespace cawo {
+
+struct VariantSpec {
+  BaseScore base = BaseScore::Pressure;
+  bool weighted = false;
+  bool refined = false;
+  bool localSearch = false;
+
+  /// Paper-style name, e.g. "pressWR-LS".
+  std::string name() const;
+
+  /// Parse a paper-style name; throws PreconditionError on unknown names.
+  static VariantSpec parse(const std::string& name);
+};
+
+/// All 16 CaWoSched variants in the paper's canonical order
+/// (slack, slackW, slackR, slackWR, press, ..., then the same with -LS).
+std::vector<VariantSpec> allVariants();
+
+/// The 8 variants without local search.
+std::vector<VariantSpec> greedyOnlyVariants();
+
+/// Tuning parameters (paper values: k = 3, µ = 10).
+struct CaWoParams {
+  int blockSize = 3;
+  Time lsRadius = 10;
+};
+
+/// Run one variant end to end: greedy phase, then (optionally) local search.
+Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
+                    Time deadline, const VariantSpec& spec,
+                    const CaWoParams& params = {});
+
+} // namespace cawo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "core/enhanced_graph.hpp"
+#include "core/schedule.hpp"
+#include "util/types.hpp"
+
+/// \file est_lst.hpp
+/// Earliest / latest start times on the enhanced graph (Section 5.1/5.2).
+///
+/// EST(v) = max over predecessors u of EST(u) + ω(u)  (0 for sources).
+/// LST(v) = min over successors w of LST(w) − ω(v)    (T − ω(v) for sinks).
+/// The slack of v is LST(v) − EST(v); a feasible instance has slack ≥ 0 for
+/// every node (guaranteed whenever the deadline is at least the ASAP
+/// makespan).
+
+namespace cawo {
+
+/// Forward Kahn pass computing EST for every node.
+std::vector<Time> computeEst(const EnhancedGraph& gc);
+
+/// Backward Kahn pass computing LST for every node under deadline T.
+std::vector<Time> computeLst(const EnhancedGraph& gc, Time deadline);
+
+/// EST/LST conditioned on a partial schedule: nodes with a start time in
+/// `partial` are pinned (EST = LST = σ(u)); the windows of the remaining
+/// nodes tighten accordingly. Used by the greedy scheduler after each
+/// placement.
+void recomputeWindows(const EnhancedGraph& gc, Time deadline,
+                      const Schedule& partial,
+                      const std::vector<bool>& placed, std::vector<Time>& est,
+                      std::vector<Time>& lst);
+
+} // namespace cawo

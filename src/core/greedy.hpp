@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "core/schedule.hpp"
+#include "core/scores.hpp"
+
+/// \file greedy.hpp
+/// The greedy phase of CaWoSched (Section 5.2).
+///
+/// Tasks are processed in score order. For each task the algorithm picks,
+/// among the (possibly refined) intervals whose begin lies in
+/// [EST(v), LST(v)], the one with the highest remaining green budget
+/// (earliest on ties) and starts the task there; if no interval begin is
+/// reachable, the task starts at EST(v). After placement, the working
+/// intervals are split at the task's boundaries, their budgets are reduced
+/// by P_idle + P_work of the task's processor, and the EST/LST windows of
+/// the remaining tasks are re-tightened.
+
+namespace cawo {
+
+struct GreedyOptions {
+  BaseScore base = BaseScore::Pressure;
+  bool weighted = false;
+  /// Use the fine-grained k-block interval subdivision (suffix "R").
+  bool refined = false;
+  /// Block size for the refinement (the paper uses k = 3).
+  int blockSize = 3;
+};
+
+/// Compute a greedy carbon-aware schedule. The deadline must be feasible
+/// (≥ ASAP makespan) and the profile horizon must cover the deadline.
+Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
+                        Time deadline, const GreedyOptions& opts);
+
+} // namespace cawo

@@ -1,0 +1,89 @@
+#include "core/interval_refinement.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+std::vector<Time> refinementCutPoints(const EnhancedGraph& gc,
+                                      const PowerProfile& profile, int k) {
+  CAWO_REQUIRE(k >= 1, "block size must be at least 1");
+  const Time horizon = profile.horizon();
+  const std::vector<Time> boundaries = profile.boundaries();
+
+  std::vector<Time> cuts;
+  for (ProcId p = 0; p < gc.numProcs(); ++p) {
+    const auto order = gc.procOrder(p);
+    const std::size_t np = order.size();
+    if (np == 0) continue;
+
+    // Prefix lengths of the processor's task sequence for O(1) block sums.
+    std::vector<Time> prefix(np + 1, 0);
+    for (std::size_t i = 0; i < np; ++i)
+      prefix[i + 1] = prefix[i] + gc.len(order[i]);
+
+    for (std::size_t first = 0; first < np; ++first) {
+      const std::size_t lastLimit =
+          std::min(np, first + static_cast<std::size_t>(k));
+      for (std::size_t last = first + 1; last <= lastLimit; ++last) {
+        // Block covers order[first .. last-1].
+        const Time blockLen = prefix[last] - prefix[first];
+        for (const Time e : boundaries) {
+          // Block starts at e: task m starts at e + (prefix[m]-prefix[first])
+          if (e + blockLen <= horizon) {
+            for (std::size_t m = first; m < last; ++m) {
+              const Time t = e + (prefix[m] - prefix[first]);
+              if (t > 0 && t < horizon) cuts.push_back(t);
+            }
+          }
+          // Block ends at e: task m starts at e − (prefix[last]-prefix[m]).
+          if (e - blockLen >= 0) {
+            for (std::size_t m = first; m < last; ++m) {
+              const Time t = e - (prefix[last] - prefix[m]);
+              if (t > 0 && t < horizon) cuts.push_back(t);
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  // Times that are already interval boundaries are not *new* cut points.
+  std::vector<Time> sortedBoundaries = boundaries;
+  std::sort(sortedBoundaries.begin(), sortedBoundaries.end());
+  std::vector<Time> fresh;
+  fresh.reserve(cuts.size());
+  std::set_difference(cuts.begin(), cuts.end(), sortedBoundaries.begin(),
+                      sortedBoundaries.end(), std::back_inserter(fresh));
+  return fresh;
+}
+
+std::vector<Interval> splitIntervalsAt(std::span<const Interval> intervals,
+                                       const std::vector<Time>& cuts) {
+  std::vector<Interval> out;
+  out.reserve(intervals.size() + cuts.size());
+  std::size_t ci = 0;
+  for (const Interval& iv : intervals) {
+    Time begin = iv.begin;
+    while (ci < cuts.size() && cuts[ci] <= iv.begin) ++ci;
+    std::size_t cj = ci;
+    while (cj < cuts.size() && cuts[cj] < iv.end) {
+      out.push_back(Interval{begin, cuts[cj], iv.green});
+      begin = cuts[cj];
+      ++cj;
+    }
+    out.push_back(Interval{begin, iv.end, iv.green});
+    ci = cj;
+  }
+  return out;
+}
+
+std::vector<Interval> refineIntervals(const EnhancedGraph& gc,
+                                      const PowerProfile& profile, int k) {
+  const std::vector<Time> cuts = refinementCutPoints(gc, profile, k);
+  return splitIntervalsAt(profile.intervals(), cuts);
+}
+
+} // namespace cawo

@@ -1,0 +1,87 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/power_timeline.hpp"
+#include "util/require.hpp"
+
+namespace cawo {
+
+LocalSearchStats localSearch(const EnhancedGraph& gc,
+                             const PowerProfile& profile, Time deadline,
+                             Schedule& schedule,
+                             const LocalSearchOptions& opts) {
+  CAWO_REQUIRE(opts.radius >= 0, "negative search radius");
+  CAWO_REQUIRE(profile.horizon() >= deadline,
+               "power profile must cover the deadline");
+  const ValidationResult valid = validateSchedule(gc, schedule, deadline);
+  CAWO_REQUIRE(valid.ok, "local search needs a feasible schedule: " +
+                             valid.message);
+
+  PowerTimeline timeline(profile, gc.totalIdlePower());
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    timeline.addLoad(schedule.start(u), schedule.end(u, gc),
+                     gc.workPower(gc.procOf(u)));
+
+  LocalSearchStats stats;
+  stats.initialCost = timeline.totalCost();
+
+  // Costliest processors first (paper: non-increasing P_work).
+  std::vector<ProcId> procs(static_cast<std::size_t>(gc.numProcs()));
+  std::iota(procs.begin(), procs.end(), ProcId{0});
+  std::sort(procs.begin(), procs.end(), [&](ProcId a, ProcId b) {
+    if (gc.workPower(a) != gc.workPower(b))
+      return gc.workPower(a) > gc.workPower(b);
+    return a < b;
+  });
+
+  while (stats.rounds < opts.maxRounds) {
+    ++stats.rounds; // counts executed passes, including the final gainless one
+    bool improved = false;
+    for (const ProcId p : procs) {
+      for (const TaskId v : gc.procOrder(p)) {
+        const Time len = gc.len(v);
+        if (len == 0) continue; // zero-length nodes draw no power
+        const Power w = gc.workPower(p);
+        const Time cur = schedule.start(v);
+
+        Time lo = 0;
+        for (TaskId u : gc.preds(v))
+          lo = std::max(lo, schedule.end(u, gc));
+        Time hi = deadline - len;
+        for (TaskId u : gc.succs(v))
+          hi = std::min(hi, schedule.start(u) - len);
+
+        lo = std::max(lo, cur - opts.radius);
+        hi = std::min(hi, cur + opts.radius);
+
+        Time bestTarget = cur;
+        Cost bestDelta = 0;
+        for (Time t = lo; t <= hi; ++t) {
+          if (t == cur) continue;
+          const Cost delta = timeline.moveDelta(cur, cur + len, t, t + len, w);
+          if (delta < bestDelta) {
+            bestDelta = delta;
+            bestTarget = t;
+            if (opts.strategy == MoveStrategy::FirstImprovement) break;
+          }
+        }
+        if (bestDelta < 0) {
+          timeline.removeLoad(cur, cur + len, w);
+          timeline.addLoad(bestTarget, bestTarget + len, w);
+          schedule.setStart(v, bestTarget);
+          ++stats.movesApplied;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  stats.finalCost = timeline.totalCost();
+  CAWO_ASSERT(stats.finalCost <= stats.initialCost,
+              "local search must never worsen the schedule");
+  return stats;
+}
+
+} // namespace cawo

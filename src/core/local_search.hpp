@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "core/schedule.hpp"
+
+/// \file local_search.hpp
+/// The hill-climbing local search of Section 5.3 (variant suffix "-LS").
+///
+/// Processors are visited in non-increasing order of P_work (the costliest
+/// first); on each processor the tasks are scanned left to right, and each
+/// task tries to move its start time up to `radius` (the paper's µ = 10)
+/// units left or right, earliest candidate first. The first legal move with
+/// a strictly positive gain is applied. Rounds repeat until one full round
+/// brings no gain. Because only improving moves are accepted, the final
+/// cost never exceeds the initial one.
+
+namespace cawo {
+
+/// Move acceptance policy. The paper applies the *first* improving move
+/// ("One could also check all legal moves and apply the best one. However,
+/// preliminary experiments showed that this would not significantly improve
+/// the outcome, so we opted for the faster variant."); both policies are
+/// provided so that trade-off can be reproduced.
+enum class MoveStrategy { FirstImprovement, BestImprovement };
+
+struct LocalSearchOptions {
+  Time radius = 10;             ///< µ: how far a task may shift per probe
+  std::size_t maxRounds = ~std::size_t{0};
+  MoveStrategy strategy = MoveStrategy::FirstImprovement;
+};
+
+struct LocalSearchStats {
+  std::size_t rounds = 0;
+  std::size_t movesApplied = 0;
+  Cost initialCost = 0;
+  Cost finalCost = 0;
+};
+
+/// Improve `schedule` in place; returns statistics about the run.
+LocalSearchStats localSearch(const EnhancedGraph& gc,
+                             const PowerProfile& profile, Time deadline,
+                             Schedule& schedule,
+                             const LocalSearchOptions& opts = {});
+
+} // namespace cawo

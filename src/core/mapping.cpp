@@ -1,0 +1,104 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+Mapping::Mapping(TaskId numTasks, ProcId numProcs)
+    : procOf_(static_cast<std::size_t>(numTasks), kInvalidProc),
+      order_(static_cast<std::size_t>(numProcs)),
+      position_(static_cast<std::size_t>(numTasks), 0) {
+  CAWO_REQUIRE(numTasks >= 0, "negative task count");
+  CAWO_REQUIRE(numProcs >= 1, "need at least one processor");
+}
+
+void Mapping::assign(TaskId v, ProcId p) {
+  CAWO_REQUIRE(v >= 0 && v < numTasks(), "task id out of range");
+  CAWO_REQUIRE(p >= 0 && p < numProcs(), "processor id out of range");
+  CAWO_REQUIRE(procOf_[static_cast<std::size_t>(v)] == kInvalidProc,
+               "task is already assigned");
+  procOf_[static_cast<std::size_t>(v)] = p;
+  position_[static_cast<std::size_t>(v)] =
+      order_[static_cast<std::size_t>(p)].size();
+  order_[static_cast<std::size_t>(p)].push_back(v);
+}
+
+void Mapping::setOrder(ProcId p, std::vector<TaskId> order) {
+  CAWO_REQUIRE(p >= 0 && p < numProcs(), "processor id out of range");
+  auto& current = order_[static_cast<std::size_t>(p)];
+  CAWO_REQUIRE(order.size() == current.size(),
+               "new order must contain exactly the tasks mapped to p");
+  std::vector<TaskId> a = order;
+  std::vector<TaskId> b = current;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  CAWO_REQUIRE(a == b, "new order must be a permutation of p's tasks");
+  current = std::move(order);
+  for (std::size_t i = 0; i < current.size(); ++i)
+    position_[static_cast<std::size_t>(current[i])] = i;
+}
+
+ProcId Mapping::procOf(TaskId v) const {
+  CAWO_REQUIRE(v >= 0 && v < numTasks(), "task id out of range");
+  return procOf_[static_cast<std::size_t>(v)];
+}
+
+bool Mapping::isAssigned(TaskId v) const {
+  CAWO_REQUIRE(v >= 0 && v < numTasks(), "task id out of range");
+  return procOf_[static_cast<std::size_t>(v)] != kInvalidProc;
+}
+
+std::span<const TaskId> Mapping::orderOn(ProcId p) const {
+  CAWO_REQUIRE(p >= 0 && p < numProcs(), "processor id out of range");
+  return order_[static_cast<std::size_t>(p)];
+}
+
+std::size_t Mapping::positionOf(TaskId v) const {
+  CAWO_REQUIRE(isAssigned(v), "task is not assigned");
+  return position_[static_cast<std::size_t>(v)];
+}
+
+std::string Mapping::validate(const TaskGraph& graph) const {
+  if (graph.numTasks() != numTasks())
+    return "mapping size does not match graph size";
+  for (TaskId v = 0; v < numTasks(); ++v)
+    if (!isAssigned(v))
+      return "task " + std::to_string(v) + " is not assigned";
+
+  // Orders are valid iff the DAG augmented with the per-processor chain
+  // edges stays acyclic. Run Kahn's algorithm on the augmented graph.
+  const auto n = static_cast<std::size_t>(numTasks());
+  std::vector<std::vector<TaskId>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  for (const auto& e : graph.edges()) {
+    succ[static_cast<std::size_t>(e.src)].push_back(e.dst);
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  for (const auto& chain : order_) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      succ[static_cast<std::size_t>(chain[i])].push_back(chain[i + 1]);
+      ++indeg[static_cast<std::size_t>(chain[i + 1])];
+    }
+  }
+  std::queue<TaskId> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push(static_cast<TaskId>(v));
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const TaskId v = ready.front();
+    ready.pop();
+    ++seen;
+    for (TaskId w : succ[static_cast<std::size_t>(v)])
+      if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push(w);
+  }
+  if (seen != n)
+    return "per-processor ordering conflicts with DAG precedence "
+           "(augmented graph has a cycle)";
+  return {};
+}
+
+} // namespace cawo

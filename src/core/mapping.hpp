@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+#include "util/types.hpp"
+
+/// \file mapping.hpp
+/// A fixed assignment of tasks to processors together with the execution
+/// order of the tasks on each processor (Section 3: "we assume that the
+/// mapping is given, as well as the ordering of the tasks ... on each
+/// processor"). Typically produced by HEFT (src/heft).
+
+namespace cawo {
+
+class Mapping {
+public:
+  /// Create an empty mapping for `numTasks` tasks on `numProcs` processors.
+  Mapping(TaskId numTasks, ProcId numProcs);
+
+  /// Assign task `v` to processor `p`, appending it at the end of p's order.
+  void assign(TaskId v, ProcId p);
+
+  /// Replace the order of tasks on processor `p`. Every task in `order`
+  /// must already be assigned to `p`, and the list must be a permutation of
+  /// p's tasks.
+  void setOrder(ProcId p, std::vector<TaskId> order);
+
+  ProcId procOf(TaskId v) const;
+  bool isAssigned(TaskId v) const;
+
+  /// Execution order of the tasks mapped to processor `p`.
+  std::span<const TaskId> orderOn(ProcId p) const;
+
+  /// Position of `v` within the order of its processor.
+  std::size_t positionOf(TaskId v) const;
+
+  TaskId numTasks() const { return static_cast<TaskId>(procOf_.size()); }
+  ProcId numProcs() const { return static_cast<ProcId>(order_.size()); }
+
+  /// Check that every task is assigned and that the per-processor orders are
+  /// compatible with the DAG (ordering a predecessor after its successor on
+  /// the same processor would create a cycle in the enhanced graph).
+  /// \returns an empty string if valid, otherwise a description of the first
+  /// violation found.
+  std::string validate(const TaskGraph& graph) const;
+
+private:
+  std::vector<ProcId> procOf_;
+  std::vector<std::vector<TaskId>> order_;
+  std::vector<std::size_t> position_;
+};
+
+} // namespace cawo

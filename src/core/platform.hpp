@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file platform.hpp
+/// The heterogeneous compute cluster (Section 6.1, Table 1 of the paper).
+///
+/// A platform is a list of processors, each with a speed (work units per
+/// time unit), an idle power draw and an additional working power draw.
+/// The paper's two evaluation clusters use six processor types PT1..PT6
+/// with 12 (small) or 24 (large) nodes per type; `paperSmall()` /
+/// `paperLarge()` build exactly those, and `scaled()` builds
+/// proportionally smaller versions for quick experiments.
+
+namespace cawo {
+
+struct ProcessorSpec {
+  std::string type;
+  std::int64_t speed = 1; ///< work units executed per time unit
+  Power idlePower = 0;    ///< consumed every time unit
+  Power workPower = 0;    ///< additional draw while executing a task
+};
+
+class Platform {
+public:
+  Platform() = default;
+
+  /// Append a processor; returns its id.
+  ProcId addProcessor(ProcessorSpec spec);
+
+  ProcId numProcessors() const {
+    return static_cast<ProcId>(procs_.size());
+  }
+
+  const ProcessorSpec& proc(ProcId p) const;
+
+  /// Execution time of `work` units on processor `p`: ceil(work / speed),
+  /// with a minimum of one time unit for any non-empty task.
+  Time execTime(Work work, ProcId p) const;
+
+  /// Sum of idle powers over all (compute) processors.
+  Power totalIdlePower() const;
+
+  /// Sum of working powers over all (compute) processors.
+  Power totalWorkPower() const;
+
+  /// Largest idle+work power over all processors (used by weighted scores).
+  Power maxCombinedPower() const;
+
+  /// Table 1 processor types of the paper (PT1..PT6).
+  static const std::vector<ProcessorSpec>& paperTypes();
+
+  /// The paper's small cluster: 12 nodes of each of the 6 types (72 nodes).
+  static Platform paperSmall();
+
+  /// The paper's large cluster: 24 nodes of each of the 6 types (144 nodes).
+  static Platform paperLarge();
+
+  /// `nodesPerType` nodes of each of the 6 paper types.
+  static Platform scaled(int nodesPerType);
+
+  /// A homogeneous platform (used by complexity-result reproductions).
+  static Platform uniform(int numProcs, std::int64_t speed, Power idle,
+                          Power work);
+
+private:
+  std::vector<ProcessorSpec> procs_;
+};
+
+} // namespace cawo

@@ -1,0 +1,77 @@
+#include "core/power_profile.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+void PowerProfile::appendInterval(Time length, Power green) {
+  CAWO_REQUIRE(length > 0, "interval length must be positive");
+  CAWO_REQUIRE(green >= 0, "green budget must be non-negative");
+  const Time begin = horizon();
+  intervals_.push_back(Interval{begin, begin + length, green});
+}
+
+PowerProfile PowerProfile::uniform(Time horizon, Power green) {
+  CAWO_REQUIRE(horizon > 0, "horizon must be positive");
+  PowerProfile p;
+  p.appendInterval(horizon, green);
+  return p;
+}
+
+PowerProfile PowerProfile::fromIntervals(std::vector<Interval> intervals) {
+  PowerProfile p;
+  Time expectedBegin = 0;
+  for (const Interval& iv : intervals) {
+    CAWO_REQUIRE(iv.begin == expectedBegin,
+                 "intervals must be contiguous and start at 0");
+    CAWO_REQUIRE(iv.end > iv.begin, "interval length must be positive");
+    CAWO_REQUIRE(iv.green >= 0, "green budget must be non-negative");
+    expectedBegin = iv.end;
+  }
+  p.intervals_ = std::move(intervals);
+  return p;
+}
+
+const Interval& PowerProfile::interval(std::size_t j) const {
+  CAWO_REQUIRE(j < intervals_.size(), "interval index out of range");
+  return intervals_[j];
+}
+
+std::size_t PowerProfile::indexAt(Time t) const {
+  CAWO_REQUIRE(t >= 0 && t < horizon(), "time outside horizon");
+  // First interval whose end is > t.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Time value, const Interval& iv) { return value < iv.end; });
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+Power PowerProfile::greenAt(Time t) const {
+  return intervals_[indexAt(t)].green;
+}
+
+std::vector<Time> PowerProfile::boundaries() const {
+  std::vector<Time> b;
+  b.reserve(intervals_.size() + 1);
+  if (intervals_.empty()) return b;
+  b.push_back(intervals_.front().begin);
+  for (const Interval& iv : intervals_) b.push_back(iv.end);
+  return b;
+}
+
+void PowerProfile::extendTo(Time newHorizon, Power green) {
+  if (newHorizon > horizon()) appendInterval(newHorizon - horizon(), green);
+}
+
+Cost PowerProfile::idleFloorCost(Power basePower) const {
+  Cost cost = 0;
+  for (const Interval& iv : intervals_) {
+    const Power over = basePower - iv.green;
+    if (over > 0) cost += static_cast<Cost>(over) * iv.length();
+  }
+  return cost;
+}
+
+} // namespace cawo

@@ -1,0 +1,79 @@
+#include "core/power_timeline.hpp"
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+PowerTimeline::PowerTimeline(const PowerProfile& profile, Power basePower)
+    : base_(basePower), horizon_(profile.horizon()) {
+  CAWO_REQUIRE(basePower >= 0, "negative base power");
+  CAWO_REQUIRE(horizon_ > 0, "profile has an empty horizon");
+  for (const Interval& iv : profile.intervals())
+    segments_.emplace(iv.begin, Segment{0, iv.green});
+  segments_.emplace(horizon_, Segment{0, 0}); // sentinel, never costed
+  for (auto it = segments_.begin(); std::next(it) != segments_.end(); ++it)
+    total_ += segmentCost(it);
+}
+
+Cost PowerTimeline::segmentCost(SegMap::const_iterator it) const {
+  const auto next = std::next(it);
+  const Time len = next->first - it->first;
+  const Power over = base_ + it->second.active - it->second.green;
+  return over > 0 ? static_cast<Cost>(over) * len : 0;
+}
+
+void PowerTimeline::splitAt(Time t) {
+  if (t <= 0 || t >= horizon_) return;
+  auto it = segments_.lower_bound(t);
+  if (it != segments_.end() && it->first == t) return;
+  --it; // segment containing t
+  segments_.emplace_hint(std::next(it), t, it->second);
+  // The two halves carry the same power values, so total_ is unchanged.
+}
+
+void PowerTimeline::addLoad(Time a, Time b, Power work) {
+  if (a >= b || work == 0) return;
+  CAWO_REQUIRE(a >= 0 && b <= horizon_, "load outside horizon");
+  splitAt(a);
+  splitAt(b);
+  for (auto it = segments_.lower_bound(a);
+       it != segments_.end() && it->first < b; ++it) {
+    total_ -= segmentCost(it);
+    it->second.active += work;
+    total_ += segmentCost(it);
+  }
+}
+
+void PowerTimeline::removeLoad(Time a, Time b, Power work) {
+  addLoad(a, b, -work);
+}
+
+Cost PowerTimeline::costInRange(Time a, Time b) const {
+  if (a >= b) return 0;
+  CAWO_REQUIRE(a >= 0 && b <= horizon_, "range outside horizon");
+  Cost cost = 0;
+  auto it = segments_.upper_bound(a);
+  --it; // segment containing a
+  for (; it != segments_.end() && it->first < b; ++it) {
+    const auto next = std::next(it);
+    const Time lo = std::max(a, it->first);
+    const Time hi = std::min(b, next->first);
+    const Power over = base_ + it->second.active - it->second.green;
+    if (over > 0 && hi > lo) cost += static_cast<Cost>(over) * (hi - lo);
+  }
+  return cost;
+}
+
+Cost PowerTimeline::moveDelta(Time a, Time b, Time a2, Time b2, Power work) {
+  const Cost before = total_;
+  removeLoad(a, b, work);
+  addLoad(a2, b2, work);
+  const Cost after = total_;
+  // Revert: integer arithmetic makes this exact.
+  removeLoad(a2, b2, work);
+  addLoad(a, b, work);
+  CAWO_ASSERT(total_ == before, "PowerTimeline revert failed");
+  return after - before;
+}
+
+} // namespace cawo

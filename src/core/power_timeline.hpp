@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file power_timeline.hpp
+/// Incremental power/cost timeline used by the local search and the exact
+/// branch-and-bound solver.
+///
+/// The horizon is partitioned into segments, each lying inside one profile
+/// interval, carrying the currently-drawn *active* power (sum of P_work of
+/// running tasks). The total carbon cost
+///   Σ_segments max(base + active − green, 0) · length
+/// is maintained incrementally under addLoad/removeLoad, so evaluating a
+/// candidate task move costs O(log S + segments touched) instead of a full
+/// O(N log N) re-evaluation.
+
+namespace cawo {
+
+class PowerTimeline {
+public:
+  /// \param basePower power drawn at every time unit regardless of schedule
+  ///        (Σ of idle powers of all enhanced processors).
+  PowerTimeline(const PowerProfile& profile, Power basePower);
+
+  /// Add `work` units of active power over [a, b).
+  void addLoad(Time a, Time b, Power work);
+
+  /// Remove `work` units of active power over [a, b) (must have been added).
+  void removeLoad(Time a, Time b, Power work);
+
+  /// Current total carbon cost.
+  Cost totalCost() const { return total_; }
+
+  /// Carbon cost restricted to [a, b).
+  Cost costInRange(Time a, Time b) const;
+
+  /// Cost change if a load of `work` moved from [a, b) to [a2, b2);
+  /// negative = improvement. The timeline is left unchanged.
+  Cost moveDelta(Time a, Time b, Time a2, Time b2, Power work);
+
+  Time horizon() const { return horizon_; }
+
+  /// Number of internal segments (diagnostic).
+  std::size_t numSegments() const { return segments_.size(); }
+
+private:
+  struct Segment {
+    Power active = 0;
+    Power green = 0;
+  };
+
+  using SegMap = std::map<Time, Segment>;
+
+  /// Ensure a segment boundary exists at time t (0 < t < horizon).
+  void splitAt(Time t);
+
+  Cost segmentCost(SegMap::const_iterator it) const;
+
+  SegMap segments_; // key = segment begin; a sentinel at `horizon_` ends it
+  Power base_ = 0;
+  Time horizon_ = 0;
+  Cost total_ = 0;
+};
+
+} // namespace cawo

@@ -1,0 +1,78 @@
+#include "core/schedule_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+void writeScheduleCsv(std::ostream& out, const EnhancedGraph& gc,
+                      const Schedule& schedule, const TaskGraph* names) {
+  CAWO_REQUIRE(schedule.numNodes() == gc.numNodes(),
+               "schedule does not match graph");
+  out << "node,kind,name,proc,start,end,len\n";
+  for (TaskId u = 0; u < gc.numNodes(); ++u) {
+    const auto& node = gc.node(u);
+    std::string name;
+    if (gc.isCommTask(u)) {
+      name = std::to_string(node.commSrc) + "->" + std::to_string(node.commDst);
+    } else if (names != nullptr && node.original < names->numTasks()) {
+      name = names->name(node.original);
+    } else {
+      name = "task" + std::to_string(node.original);
+    }
+    // Commas inside names would break the CSV; replace them.
+    std::replace(name.begin(), name.end(), ',', ';');
+    out << u << ',' << (gc.isCommTask(u) ? "comm" : "task") << ',' << name
+        << ',' << node.proc << ',' << schedule.start(u) << ','
+        << schedule.end(u, gc) << ',' << node.len << '\n';
+  }
+}
+
+std::string toScheduleCsvString(const EnhancedGraph& gc,
+                                const Schedule& schedule,
+                                const TaskGraph* names) {
+  std::ostringstream os;
+  writeScheduleCsv(os, gc, schedule, names);
+  return os.str();
+}
+
+void writeScheduleCsvFile(const std::string& path, const EnhancedGraph& gc,
+                          const Schedule& schedule, const TaskGraph* names) {
+  std::ofstream out(path);
+  CAWO_REQUIRE(out.good(), "cannot open schedule CSV for writing: " + path);
+  writeScheduleCsv(out, gc, schedule, names);
+}
+
+void printGantt(std::ostream& out, const EnhancedGraph& gc,
+                const Schedule& schedule, Time horizon, int width) {
+  CAWO_REQUIRE(horizon > 0, "horizon must be positive");
+  CAWO_REQUIRE(width >= 10, "gantt needs at least 10 columns");
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(horizon);
+  for (ProcId p = 0; p < gc.numProcs(); ++p) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const TaskId u : gc.procOrder(p)) {
+      const auto a = static_cast<std::size_t>(
+          std::min<double>(width - 1, schedule.start(u) * scale));
+      auto b = static_cast<std::size_t>(
+          std::min<double>(width, schedule.end(u, gc) * scale));
+      if (b <= a) b = a + 1;
+      const char mark = gc.isCommTask(u)
+                            ? '~'
+                            : static_cast<char>('A' + (u % 26));
+      for (std::size_t c = a; c < b && c < row.size(); ++c) row[c] = mark;
+    }
+    const std::string label =
+        (p < gc.numRealProcs() ? "p" : "link") + std::to_string(p);
+    out << padRight(label, 8) << '|' << row << "|\n";
+  }
+  out << padRight("", 8) << ' ' << padRight("0", static_cast<std::size_t>(width - 1))
+      << horizon << "\n";
+}
+
+} // namespace cawo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/enhanced_graph.hpp"
+#include "core/schedule.hpp"
+#include "core/task_graph.hpp"
+
+/// \file schedule_io.hpp
+/// Human- and machine-readable schedule output: a CSV with one row per
+/// enhanced-graph node (including communication tasks) and a text Gantt
+/// rendering for quick inspection.
+
+namespace cawo {
+
+/// CSV columns: node,kind,name,proc,start,end,len.
+/// `kind` is "task" or "comm"; comm rows carry "src->dst" as their name.
+void writeScheduleCsv(std::ostream& out, const EnhancedGraph& gc,
+                      const Schedule& schedule,
+                      const TaskGraph* names = nullptr);
+
+std::string toScheduleCsvString(const EnhancedGraph& gc,
+                                const Schedule& schedule,
+                                const TaskGraph* names = nullptr);
+
+void writeScheduleCsvFile(const std::string& path, const EnhancedGraph& gc,
+                          const Schedule& schedule,
+                          const TaskGraph* names = nullptr);
+
+/// A per-processor ASCII Gantt chart scaled to `width` columns.
+void printGantt(std::ostream& out, const EnhancedGraph& gc,
+                const Schedule& schedule, Time horizon, int width = 72);
+
+} // namespace cawo

@@ -1,0 +1,61 @@
+#include "core/scores.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+std::vector<double> computeScores(const EnhancedGraph& gc,
+                                  const std::vector<Time>& est,
+                                  const std::vector<Time>& lst,
+                                  const ScoreOptions& opts) {
+  const auto n = static_cast<std::size_t>(gc.numNodes());
+  CAWO_REQUIRE(est.size() == n && lst.size() == n, "est/lst size mismatch");
+
+  Power maxCombined = 0;
+  for (ProcId p = 0; p < gc.numProcs(); ++p)
+    maxCombined = std::max(maxCombined, gc.idlePower(p) + gc.workPower(p));
+  CAWO_REQUIRE(maxCombined > 0, "platform draws no power at all");
+
+  std::vector<double> score(n, 0.0);
+  for (TaskId v = 0; v < gc.numNodes(); ++v) {
+    const auto iv = static_cast<std::size_t>(v);
+    const double slack = static_cast<double>(lst[iv] - est[iv]);
+    CAWO_REQUIRE(slack >= 0.0, "negative slack — instance is infeasible");
+    const double omega = static_cast<double>(gc.len(v));
+    const ProcId p = gc.procOf(v);
+    const double wf =
+        static_cast<double>(gc.idlePower(p) + gc.workPower(p)) /
+        static_cast<double>(maxCombined);
+
+    if (opts.base == BaseScore::Slack) {
+      score[iv] = opts.weighted ? slack / wf : slack;
+    } else {
+      const double denom = slack + omega;
+      const double rho = denom > 0.0 ? omega / denom : 1.0;
+      score[iv] = opts.weighted ? rho * wf : rho;
+    }
+  }
+  return score;
+}
+
+std::vector<TaskId> scoreOrder(const EnhancedGraph& gc,
+                               const std::vector<Time>& est,
+                               const std::vector<Time>& lst,
+                               const ScoreOptions& opts) {
+  const std::vector<double> score = computeScores(gc, est, lst, opts);
+  std::vector<TaskId> order(static_cast<std::size_t>(gc.numNodes()));
+  std::iota(order.begin(), order.end(), TaskId{0});
+  const bool ascending = (opts.base == BaseScore::Slack);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const double sa = score[static_cast<std::size_t>(a)];
+    const double sb = score[static_cast<std::size_t>(b)];
+    if (sa != sb) return ascending ? sa < sb : sa > sb;
+    return a < b;
+  });
+  return order;
+}
+
+} // namespace cawo

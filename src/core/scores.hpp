@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/enhanced_graph.hpp"
+#include "util/types.hpp"
+
+/// \file scores.hpp
+/// Task scores of Section 5.2 that determine the greedy processing order.
+///
+/// * slack    s(v) = LST(v) − EST(v)           — processed in non-decreasing
+///   order (little flexibility first).
+/// * pressure ρ(v) = ω(v) / (s(v) + ω(v)) ∈ [0,1] — processed in
+///   non-increasing order (urgent, long tasks first).
+///
+/// The *weighted* variants additionally account for the power heterogeneity
+/// of processors via  wf(i) = (P_idle^i + P_work^i) / max_j (P_idle^j +
+/// P_work^j): pressure is multiplied by wf (costly processors first) and
+/// slack by its reciprocal (costly processors get smaller weighted slack,
+/// hence are scheduled earlier).
+
+namespace cawo {
+
+enum class BaseScore { Slack, Pressure };
+
+struct ScoreOptions {
+  BaseScore base = BaseScore::Pressure;
+  bool weighted = false;
+};
+
+/// Raw (possibly weighted) score value per node.
+std::vector<double> computeScores(const EnhancedGraph& gc,
+                                  const std::vector<Time>& est,
+                                  const std::vector<Time>& lst,
+                                  const ScoreOptions& opts);
+
+/// The greedy processing order induced by the scores: non-decreasing for
+/// slack, non-increasing for pressure, ties broken by node id.
+std::vector<TaskId> scoreOrder(const EnhancedGraph& gc,
+                               const std::vector<Time>& est,
+                               const std::vector<Time>& lst,
+                               const ScoreOptions& opts);
+
+} // namespace cawo

@@ -1,0 +1,116 @@
+#include "core/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+TaskId TaskGraph::addTask(std::string name, Work work) {
+  CAWO_REQUIRE(work >= 0, "task work must be non-negative");
+  names_.push_back(std::move(name));
+  work_.push_back(work);
+  adjacencyValid_ = false;
+  return static_cast<TaskId>(work_.size() - 1);
+}
+
+void TaskGraph::addEdge(TaskId src, TaskId dst, Data data) {
+  checkTask(src);
+  checkTask(dst);
+  CAWO_REQUIRE(src != dst, "self-loop edges are not allowed");
+  CAWO_REQUIRE(data >= 0, "edge data must be non-negative");
+  edges_.push_back(Edge{src, dst, data});
+  adjacencyValid_ = false;
+}
+
+void TaskGraph::checkTask(TaskId v) const {
+  CAWO_REQUIRE(v >= 0 && v < numTasks(), "task id out of range");
+}
+
+void TaskGraph::buildAdjacency() const {
+  const auto n = static_cast<std::size_t>(numTasks());
+  outIndex_.assign(n + 1, 0);
+  inIndex_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++outIndex_[static_cast<std::size_t>(e.src) + 1];
+    ++inIndex_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    outIndex_[i] += outIndex_[i - 1];
+    inIndex_[i] += inIndex_[i - 1];
+  }
+  outList_.resize(edges_.size());
+  inList_.resize(edges_.size());
+  std::vector<std::size_t> outPos(outIndex_.begin(), outIndex_.end() - 1);
+  std::vector<std::size_t> inPos(inIndex_.begin(), inIndex_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    outList_[outPos[static_cast<std::size_t>(edges_[i].src)]++] = i;
+    inList_[inPos[static_cast<std::size_t>(edges_[i].dst)]++] = i;
+  }
+  adjacencyValid_ = true;
+}
+
+std::span<const std::size_t> TaskGraph::outEdges(TaskId v) const {
+  checkTask(v);
+  if (!adjacencyValid_) buildAdjacency();
+  const auto i = static_cast<std::size_t>(v);
+  return {outList_.data() + outIndex_[i], outIndex_[i + 1] - outIndex_[i]};
+}
+
+std::span<const std::size_t> TaskGraph::inEdges(TaskId v) const {
+  checkTask(v);
+  if (!adjacencyValid_) buildAdjacency();
+  const auto i = static_cast<std::size_t>(v);
+  return {inList_.data() + inIndex_[i], inIndex_[i + 1] - inIndex_[i]};
+}
+
+Work TaskGraph::totalWork() const {
+  Work sum = 0;
+  for (Work w : work_) sum += w;
+  return sum;
+}
+
+std::vector<TaskId> TaskGraph::topologicalOrder() const {
+  const TaskId n = numTasks();
+  std::vector<std::size_t> indeg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : edges_) ++indeg[static_cast<std::size_t>(e.dst)];
+
+  std::queue<TaskId> ready;
+  for (TaskId v = 0; v < n; ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+
+  std::vector<TaskId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const TaskId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (std::size_t ei : outEdges(v)) {
+      const TaskId w = edges_[ei].dst;
+      if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push(w);
+    }
+  }
+  CAWO_REQUIRE(order.size() == static_cast<std::size_t>(n),
+               "workflow graph contains a cycle");
+  return order;
+}
+
+bool TaskGraph::isAcyclic() const {
+  try {
+    (void)topologicalOrder();
+    return true;
+  } catch (const PreconditionError&) {
+    return false;
+  }
+}
+
+bool TaskGraph::hasEdge(TaskId src, TaskId dst) const {
+  checkTask(src);
+  checkTask(dst);
+  for (std::size_t ei : outEdges(src))
+    if (edges_[ei].dst == dst) return true;
+  return false;
+}
+
+} // namespace cawo

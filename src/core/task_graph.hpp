@@ -1,0 +1,88 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file task_graph.hpp
+/// The workflow DAG `G = (V, E, ω, c)` of Section 3 of the paper.
+///
+/// Vertices carry a normalised amount of *work* (the actual running time of
+/// a task is `ceil(work / speed)` on the processor it is mapped to, matching
+/// the paper's normalised vertex weights). Edges carry the amount of *data*
+/// that must be communicated if the endpoint tasks are mapped to different
+/// processors; network bandwidth is normalised to 1, so the communication
+/// time equals the data amount.
+
+namespace cawo {
+
+class TaskGraph {
+public:
+  struct Edge {
+    TaskId src = kInvalidTask;
+    TaskId dst = kInvalidTask;
+    Data data = 0;
+  };
+
+  TaskGraph() = default;
+
+  /// Add a task with the given human-readable name and work amount.
+  /// \returns the id of the new task (ids are dense, 0-based).
+  TaskId addTask(std::string name, Work work);
+
+  /// Add a precedence edge (src → dst) carrying `data` units of data.
+  /// Both endpoints must already exist; self-loops are rejected.
+  void addEdge(TaskId src, TaskId dst, Data data = 0);
+
+  /// Number of tasks `n = |V|`.
+  TaskId numTasks() const { return static_cast<TaskId>(work_.size()); }
+
+  /// Number of edges `|E|`.
+  std::size_t numEdges() const { return edges_.size(); }
+
+  Work work(TaskId v) const { return work_[static_cast<std::size_t>(v)]; }
+  const std::string& name(TaskId v) const {
+    return names_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing edge indices of `v` (indices into edges()).
+  std::span<const std::size_t> outEdges(TaskId v) const;
+  /// Incoming edge indices of `v` (indices into edges()).
+  std::span<const std::size_t> inEdges(TaskId v) const;
+
+  std::size_t outDegree(TaskId v) const { return outEdges(v).size(); }
+  std::size_t inDegree(TaskId v) const { return inEdges(v).size(); }
+
+  /// Total work over all tasks.
+  Work totalWork() const;
+
+  /// Kahn topological order; throws PreconditionError if the graph has a
+  /// cycle (a workflow must be a DAG).
+  std::vector<TaskId> topologicalOrder() const;
+
+  /// True iff the graph contains no directed cycle.
+  bool isAcyclic() const;
+
+  /// True if an edge src → dst exists.
+  bool hasEdge(TaskId src, TaskId dst) const;
+
+private:
+  void checkTask(TaskId v) const;
+  void buildAdjacency() const;
+
+  std::vector<std::string> names_;
+  std::vector<Work> work_;
+  std::vector<Edge> edges_;
+
+  // Lazily built CSR-style adjacency (invalidated on mutation). `mutable`
+  // because adjacency is a cache of the edge list, not logical state.
+  mutable bool adjacencyValid_ = false;
+  mutable std::vector<std::size_t> outIndex_, outList_;
+  mutable std::vector<std::size_t> inIndex_, inList_;
+};
+
+} // namespace cawo

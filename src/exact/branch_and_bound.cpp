@@ -1,0 +1,90 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "core/est_lst.hpp"
+#include "core/power_timeline.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace cawo {
+
+namespace {
+
+struct SearchState {
+  const EnhancedGraph& gc;
+  const PowerProfile& profile;
+  Time deadline;
+  const BnbOptions& opts;
+  const std::vector<TaskId>& order; // topological
+  std::vector<Time> lst;            // static latest starts
+  PowerTimeline timeline;
+  Schedule current;
+  Schedule best;
+  Cost bestCost;
+  std::uint64_t nodes = 0;
+  bool budgetExhausted = false;
+  WallTimer timer;
+
+  SearchState(const EnhancedGraph& g, const PowerProfile& p, Time d,
+              const BnbOptions& o)
+      : gc(g), profile(p), deadline(d), opts(o), order(g.topoOrder()),
+        lst(computeLst(g, d)), timeline(p, g.totalIdlePower()),
+        current(g.numNodes()), best(scheduleAsap(g)),
+        bestCost(evaluateCost(g, p, best)) {}
+
+  void dfs(std::size_t depth) {
+    if (budgetExhausted) return;
+    if (++nodes > opts.maxNodes || timer.elapsedSec() > opts.timeLimitSec) {
+      budgetExhausted = true;
+      return;
+    }
+    if (timeline.totalCost() >= bestCost) return; // monotone lower bound
+    if (depth == order.size()) {
+      bestCost = timeline.totalCost();
+      best = current;
+      return;
+    }
+    const TaskId v = order[depth];
+    const Time len = gc.len(v);
+    const Power w = gc.workPower(gc.procOf(v));
+
+    Time estDyn = 0;
+    for (TaskId u : gc.preds(v))
+      estDyn = std::max(estDyn, current.end(u, gc));
+    const Time latest = lst[static_cast<std::size_t>(v)];
+
+    for (Time t = estDyn; t <= latest; ++t) {
+      timeline.addLoad(t, t + len, w);
+      current.setStart(v, t);
+      dfs(depth + 1);
+      timeline.removeLoad(t, t + len, w);
+      if (budgetExhausted) return;
+    }
+  }
+};
+
+} // namespace
+
+BnbResult solveExact(const EnhancedGraph& gc, const PowerProfile& profile,
+                     Time deadline, const BnbOptions& opts) {
+  CAWO_REQUIRE(deadline > 0, "deadline must be positive");
+  CAWO_REQUIRE(profile.horizon() >= deadline,
+               "profile must cover the deadline");
+  CAWO_REQUIRE(asapMakespan(gc) <= deadline,
+               "infeasible instance: deadline below ASAP makespan");
+
+  SearchState state(gc, profile, deadline, opts);
+  state.dfs(0);
+
+  BnbResult res;
+  res.schedule = state.best;
+  res.cost = state.bestCost;
+  res.provedOptimal = !state.budgetExhausted;
+  res.nodesExplored = state.nodes;
+  return res;
+}
+
+} // namespace cawo

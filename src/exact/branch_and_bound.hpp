@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "core/schedule.hpp"
+#include "util/types.hpp"
+
+/// \file branch_and_bound.hpp
+/// Exact solver over integer start times — our substitute for the paper's
+/// Gurobi ILP (Appendix A.4); see DESIGN.md for the substitution argument.
+///
+/// Tasks are placed in topological order; each task tries every integer
+/// start time within its dynamically tightened [EST, LST] window. The
+/// carbon cost of the partial schedule is a monotone lower bound (adding a
+/// task can only raise the power at any time unit), so pruning against the
+/// incumbent is exact. The search space equals the ILP's feasible region,
+/// hence the returned optimum matches the ILP optimum.
+
+namespace cawo {
+
+struct BnbOptions {
+  std::uint64_t maxNodes = 200'000'000; ///< search-node budget
+  double timeLimitSec = 120.0;          ///< wall-clock budget
+};
+
+struct BnbResult {
+  Schedule schedule;
+  Cost cost = 0;
+  bool provedOptimal = false;
+  std::uint64_t nodesExplored = 0;
+};
+
+/// Solve the instance to optimality (within the given budgets). If a budget
+/// is exhausted, the best incumbent found so far is returned with
+/// `provedOptimal == false`.
+BnbResult solveExact(const EnhancedGraph& gc, const PowerProfile& profile,
+                     Time deadline, const BnbOptions& opts = {});
+
+} // namespace cawo

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file ilp_writer.hpp
+/// Emits the integer linear program of Appendix A.4 in CPLEX LP format so
+/// that the exact formulation can be solved with an external solver
+/// (Gurobi, CPLEX, HiGHS, CBC, ...). This documents the paper's ILP
+/// faithfully; inside this repo the optimum is computed by the
+/// branch-and-bound solver instead (see DESIGN.md, substitutions).
+///
+/// Variables (one per time unit t in [0, T)):
+///   gu_t, bu_t      — green / brown power drawn (integer ≥ 0)
+///   gamma_t         — total platform power (integer ≥ 0)
+///   alpha_t         — 1 iff brown power is needed (binary)
+/// and per (node u, time t):
+///   s_u_t, e_u_t, r_u_t — start / end / running indicators (binary).
+///
+/// Constraints are numbered as in the paper: (5)-(12) task placement and
+/// precedence, (15)-(20) the Big-M linearisation of bu_t = max(0, γ_t−G_t),
+/// (21)-(22) green power accounting, (23) total power.
+
+namespace cawo {
+
+struct IlpStats {
+  std::size_t numVariables = 0;
+  std::size_t numConstraints = 0;
+  std::size_t numBinaries = 0;
+};
+
+/// Write the full model to `out`; returns model-size statistics.
+IlpStats writeIlp(std::ostream& out, const EnhancedGraph& gc,
+                  const PowerProfile& profile, Time deadline);
+
+/// Convenience: write to a file; throws on I/O failure.
+IlpStats writeIlpFile(const std::string& path, const EnhancedGraph& gc,
+                      const PowerProfile& profile, Time deadline);
+
+} // namespace cawo

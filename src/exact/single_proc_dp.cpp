@@ -1,0 +1,268 @@
+#include "exact/single_proc_dp.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+namespace {
+
+/// Prefix sums of the effective cost eff(t) (see header) over the horizon,
+/// evaluated lazily per interval: effsum(t) = Σ_{u < t} eff(u) in O(log J).
+class EffCost {
+public:
+  EffCost(const PowerProfile& profile, Power idle, Power work)
+      : profile_(profile) {
+    const auto ivs = profile.intervals();
+    perUnit_.reserve(ivs.size());
+    cum_.reserve(ivs.size() + 1);
+    cum_.push_back(0);
+    for (const Interval& iv : ivs) {
+      const Power busy = std::max<Power>(idle + work - iv.green, 0);
+      const Power idleOver = std::max<Power>(idle - iv.green, 0);
+      const Power eff = busy - idleOver;
+      perUnit_.push_back(eff);
+      cum_.push_back(cum_.back() + static_cast<Cost>(eff) * iv.length());
+    }
+  }
+
+  /// Σ_{u=0}^{t-1} eff(u), for t in [0, horizon].
+  Cost effsum(Time t) const {
+    if (t <= 0) return 0;
+    if (t >= profile_.horizon()) return cum_.back();
+    const std::size_t j = profile_.indexAt(t);
+    const Interval& iv = profile_.interval(j);
+    return cum_[j] + static_cast<Cost>(perUnit_[j]) * (t - iv.begin);
+  }
+
+  /// Cost of executing a task of length `len` so that it ends at `t`.
+  Cost execCost(Time len, Time t) const { return effsum(t) - effsum(t - len); }
+
+private:
+  const PowerProfile& profile_;
+  std::vector<Power> perUnit_;
+  std::vector<Cost> cum_;
+};
+
+void checkInstance(const SingleProcInstance& inst, const PowerProfile& profile,
+                   Time deadline) {
+  CAWO_REQUIRE(deadline > 0, "deadline must be positive");
+  CAWO_REQUIRE(profile.horizon() >= deadline,
+               "profile must cover the deadline");
+  CAWO_REQUIRE(inst.idlePower >= 0 && inst.workPower >= 0,
+               "negative power values");
+  Time total = 0;
+  for (Time len : inst.lens) {
+    CAWO_REQUIRE(len >= 0, "negative task length");
+    total += len;
+  }
+  CAWO_REQUIRE(total <= deadline, "tasks cannot fit before the deadline");
+}
+
+} // namespace
+
+SingleProcInstance singleProcInstanceFrom(const EnhancedGraph& gc) {
+  CAWO_REQUIRE(gc.numProcs() == 1, "instance must have a single processor");
+  SingleProcInstance inst;
+  inst.idlePower = gc.idlePower(0);
+  inst.workPower = gc.workPower(0);
+  for (TaskId v : gc.procOrder(0)) inst.lens.push_back(gc.len(v));
+  return inst;
+}
+
+SingleProcResult solveSingleProcPseudo(const SingleProcInstance& inst,
+                                       const PowerProfile& profile,
+                                       Time deadline) {
+  checkInstance(inst, profile, deadline);
+  const EffCost eff(profile, inst.idlePower, inst.workPower);
+  const std::size_t n = inst.lens.size();
+  const Cost base = profile.idleFloorCost(inst.idlePower);
+
+  SingleProcResult res;
+  if (n == 0) {
+    res.cost = base;
+    return res;
+  }
+
+  const auto T = static_cast<std::size_t>(deadline);
+  // g[i][t] = min cost (eff part) of tasks 0..i with task i ending exactly
+  // at t; INF where infeasible. Kept as full tables for easy backtracking —
+  // this solver targets the small instances of the optimality study.
+  std::vector<std::vector<Cost>> g(n, std::vector<Cost>(T + 1, kCostInfinity));
+  std::vector<Time> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + inst.lens[i];
+
+  // h[t] = min over s <= t of g[i-1][s]; rolls per task.
+  std::vector<Cost> h(T + 1, 0); // task "-1" ends at any s with cost 0
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time len = inst.lens[i];
+    for (Time t = prefix[i + 1]; t <= deadline; ++t) {
+      const Cost before = h[static_cast<std::size_t>(t - len)];
+      if (before >= kCostInfinity) continue;
+      g[i][static_cast<std::size_t>(t)] = before + eff.execCost(len, t);
+    }
+    // Fold g[i] into the next prefix-min table.
+    Cost running = kCostInfinity;
+    for (Time t = 0; t <= deadline; ++t) {
+      running = std::min(running, g[i][static_cast<std::size_t>(t)]);
+      h[static_cast<std::size_t>(t)] = running;
+    }
+  }
+
+  // Backtrack: find the optimal end of the last task, then walk backwards.
+  Cost best = kCostInfinity;
+  Time end = 0;
+  for (Time t = prefix[n]; t <= deadline; ++t) {
+    if (g[n - 1][static_cast<std::size_t>(t)] < best) {
+      best = g[n - 1][static_cast<std::size_t>(t)];
+      end = t;
+    }
+  }
+  CAWO_ASSERT(best < kCostInfinity, "DP found no feasible schedule");
+
+  res.starts.assign(n, 0);
+  Time curEnd = end;
+  for (std::size_t i = n; i-- > 0;) {
+    res.starts[i] = curEnd - inst.lens[i];
+    if (i == 0) break;
+    // Choose the best end for task i-1 not exceeding the current start.
+    Cost bestPrev = kCostInfinity;
+    Time prevEnd = 0;
+    const Cost needed = g[i][static_cast<std::size_t>(curEnd)] -
+                        eff.execCost(inst.lens[i], curEnd);
+    for (Time s = prefix[i]; s <= res.starts[i]; ++s) {
+      const Cost c = g[i - 1][static_cast<std::size_t>(s)];
+      if (c < bestPrev) {
+        bestPrev = c;
+        prevEnd = s;
+        if (c == needed) break; // matches the DP value — earliest such end
+      }
+    }
+    CAWO_ASSERT(bestPrev < kCostInfinity, "DP backtracking failed");
+    curEnd = prevEnd;
+  }
+  res.cost = base + best;
+  return res;
+}
+
+std::vector<Time> candidateEndTimes(const SingleProcInstance& inst,
+                                    const PowerProfile& profile, Time deadline,
+                                    std::size_t taskIndex) {
+  const std::size_t n = inst.lens.size();
+  CAWO_REQUIRE(taskIndex < n, "task index out of range");
+  std::vector<Time> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + inst.lens[i];
+
+  const Time minEnd = prefix[taskIndex + 1];
+  const Time maxEnd = deadline - (prefix[n] - prefix[taskIndex + 1]);
+
+  std::vector<Time> cands;
+  std::vector<Time> boundaries = profile.boundaries();
+  // Boundaries beyond the deadline are irrelevant (the profile horizon may
+  // exceed the deadline); keep those <= deadline plus the deadline itself.
+  boundaries.erase(std::remove_if(boundaries.begin(), boundaries.end(),
+                                  [&](Time b) { return b > deadline; }),
+                   boundaries.end());
+  if (std::find(boundaries.begin(), boundaries.end(), deadline) ==
+      boundaries.end())
+    boundaries.push_back(deadline);
+
+  for (std::size_t r = 0; r <= taskIndex; ++r) {
+    for (std::size_t s = taskIndex; s < n; ++s) {
+      // Block of tasks r..s containing taskIndex.
+      for (const Time e : boundaries) {
+        // Block starts at e → task ends at e + (prefix[i+1] − prefix[r]).
+        const Time endA = e + (prefix[taskIndex + 1] - prefix[r]);
+        if (endA >= minEnd && endA <= maxEnd) cands.push_back(endA);
+        // Block ends at e → task ends at e − (prefix[s+1] − prefix[i+1]).
+        const Time endB = e - (prefix[s + 1] - prefix[taskIndex + 1]);
+        if (endB >= minEnd && endB <= maxEnd) cands.push_back(endB);
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  return cands;
+}
+
+SingleProcResult solveSingleProcPoly(const SingleProcInstance& inst,
+                                     const PowerProfile& profile,
+                                     Time deadline) {
+  checkInstance(inst, profile, deadline);
+  const EffCost eff(profile, inst.idlePower, inst.workPower);
+  const std::size_t n = inst.lens.size();
+  const Cost base = profile.idleFloorCost(inst.idlePower);
+
+  SingleProcResult res;
+  if (n == 0) {
+    res.cost = base;
+    return res;
+  }
+
+  // Per-task candidate end times (E'), each with its DP cost and a back
+  // pointer into the previous task's candidate list.
+  struct Entry {
+    Time end;
+    Cost cost;
+    std::size_t parent;
+  };
+  std::vector<std::vector<Entry>> dp(n);
+
+  std::vector<Time> prevEnds; // ends of task i-1, ascending
+  std::vector<Cost> prevCosts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<Time> cands =
+        candidateEndTimes(inst, profile, deadline, i);
+    CAWO_ASSERT(!cands.empty(), "empty candidate end-time set");
+    const Time len = inst.lens[i];
+    auto& cur = dp[i];
+    cur.reserve(cands.size());
+
+    if (i == 0) {
+      for (const Time t : cands)
+        cur.push_back(Entry{t, eff.execCost(len, t), 0});
+    } else {
+      // Two-pointer prefix-min over the previous task's candidates.
+      std::size_t p = 0;
+      Cost bestPrev = kCostInfinity;
+      std::size_t bestIdx = 0;
+      for (const Time t : cands) {
+        while (p < prevEnds.size() && prevEnds[p] <= t - len) {
+          if (prevCosts[p] < bestPrev) {
+            bestPrev = prevCosts[p];
+            bestIdx = p;
+          }
+          ++p;
+        }
+        if (bestPrev >= kCostInfinity) continue; // no feasible predecessor
+        cur.push_back(Entry{t, bestPrev + eff.execCost(len, t), bestIdx});
+      }
+    }
+    CAWO_ASSERT(!cur.empty(), "no feasible candidate for task");
+    prevEnds.clear();
+    prevCosts.clear();
+    prevEnds.reserve(cur.size());
+    prevCosts.reserve(cur.size());
+    for (const Entry& e : cur) {
+      prevEnds.push_back(e.end);
+      prevCosts.push_back(e.cost);
+    }
+  }
+
+  // Pick the best candidate of the last task and backtrack.
+  std::size_t bestIdx = 0;
+  for (std::size_t idx = 1; idx < dp[n - 1].size(); ++idx)
+    if (dp[n - 1][idx].cost < dp[n - 1][bestIdx].cost) bestIdx = idx;
+
+  res.starts.assign(n, 0);
+  std::size_t idx = bestIdx;
+  for (std::size_t i = n; i-- > 0;) {
+    res.starts[i] = dp[i][idx].end - inst.lens[i];
+    idx = dp[i][idx].parent;
+  }
+  res.cost = base + dp[n - 1][bestIdx].cost;
+  return res;
+}
+
+} // namespace cawo

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file single_proc_dp.hpp
+/// The polynomial-time dynamic program for a single processor
+/// (Theorem 4.1 / Lemma 4.2 and Appendix A.2 of the paper).
+///
+/// The tasks v_1..v_n execute in a fixed order on one processor. Because
+/// the processor runs at most one task at a time, the carbon cost
+/// decomposes per time unit into a schedule-independent floor
+/// `max(P_idle − G(t), 0)` plus, while a task runs, an *effective cost*
+///   eff(t) = max(P_idle + P_work − G(t), 0) − max(P_idle − G(t), 0) ≥ 0.
+/// The DP minimises the sum of eff over all execution windows.
+///
+/// Two variants are provided:
+///  * `solveSingleProcPseudo` — the O(n·T) pseudo-polynomial DP over all
+///    integer end times (Section 4.1, Eq. (1), with a prefix-min).
+///  * `solveSingleProcPoly`  — the fully polynomial DP restricted to the
+///    end-time set E' of size O(n³·J) derived from interval-aligned blocks
+///    (Lemma 4.2); optimal because an optimal E-schedule always exists.
+
+namespace cawo {
+
+struct SingleProcInstance {
+  std::vector<Time> lens; ///< task lengths in their fixed execution order
+  Power idlePower = 0;
+  Power workPower = 0;
+};
+
+/// Extract a single-processor instance from an enhanced graph that lives on
+/// exactly one processor (throws otherwise). The task order is the fixed
+/// per-processor order.
+SingleProcInstance singleProcInstanceFrom(const EnhancedGraph& gc);
+
+struct SingleProcResult {
+  Cost cost = 0;              ///< total carbon cost incl. the idle floor
+  std::vector<Time> starts;   ///< start time per task, in instance order
+};
+
+/// Pseudo-polynomial DP over every integer end time in [0, deadline].
+SingleProcResult solveSingleProcPseudo(const SingleProcInstance& inst,
+                                       const PowerProfile& profile,
+                                       Time deadline);
+
+/// Fully polynomial DP restricted to the end-time set E'.
+SingleProcResult solveSingleProcPoly(const SingleProcInstance& inst,
+                                     const PowerProfile& profile,
+                                     Time deadline);
+
+/// The candidate end-time set E'_i for task `i` (exposed for tests):
+/// all end times implied by some block r ≤ i ≤ s aligned to start or end at
+/// an interval boundary, intersected with the feasibility window.
+std::vector<Time> candidateEndTimes(const SingleProcInstance& inst,
+                                    const PowerProfile& profile, Time deadline,
+                                    std::size_t taskIndex);
+
+} // namespace cawo

@@ -1,0 +1,148 @@
+#include "heft/green_heft.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+Cost estimateBrownEnergy(const PowerProfile& profile, Power platformIdle,
+                         Power workPower, Time start, Time len) {
+  CAWO_REQUIRE(start >= 0 && len >= 0, "invalid execution window");
+  Cost brown = 0;
+  Time t = start;
+  const Time end = start + len;
+  const Time horizon = profile.horizon();
+  while (t < end && t < horizon) {
+    const std::size_t j = profile.indexAt(t);
+    const Interval& iv = profile.interval(j);
+    const Time span = std::min(end, iv.end) - t;
+    const Power headroom = std::max<Power>(iv.green - platformIdle, 0);
+    const Power over = std::max<Power>(workPower - headroom, 0);
+    brown += static_cast<Cost>(over) * span;
+    t += span;
+  }
+  if (t < end) brown += static_cast<Cost>(workPower) * (end - t); // beyond horizon
+  return brown;
+}
+
+HeftResult runGreenHeft(const TaskGraph& graph, const Platform& platform,
+                        const PowerProfile& profile,
+                        const GreenHeftOptions& opts) {
+  CAWO_REQUIRE(opts.alpha >= 0.0 && opts.alpha <= 1.0,
+               "alpha must lie in [0, 1]");
+  const TaskId n = graph.numTasks();
+  const ProcId P = platform.numProcessors();
+  CAWO_REQUIRE(P >= 1, "platform has no processors");
+  const Power platformIdle = platform.totalIdlePower();
+
+  const std::vector<double> rank = heftUpwardRanks(graph, platform);
+  std::vector<TaskId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), TaskId{0});
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  // Insertion-based slot search, as in plain HEFT.
+  struct ProcTimeline {
+    std::vector<std::pair<Time, Time>> slots;
+    Time earliestFit(Time ready, Time len) const {
+      Time candidate = ready;
+      for (const auto& [s, e] : slots) {
+        if (candidate + len <= s) return candidate;
+        candidate = std::max(candidate, e);
+      }
+      return candidate;
+    }
+    void insert(Time start, Time end) {
+      const auto it = std::lower_bound(slots.begin(), slots.end(),
+                                       std::make_pair(start, end));
+      slots.insert(it, {start, end});
+    }
+  };
+  std::vector<ProcTimeline> timelines(static_cast<std::size_t>(P));
+  std::vector<ProcId> procOf(static_cast<std::size_t>(n), kInvalidProc);
+  std::vector<Time> ast(static_cast<std::size_t>(n), 0);
+  std::vector<Time> aft(static_cast<std::size_t>(n), 0);
+
+  struct Candidate {
+    ProcId proc;
+    Time start;
+    Time eft;
+    Cost brown;
+  };
+
+  for (const TaskId v : order) {
+    std::vector<Candidate> candidates;
+    candidates.reserve(static_cast<std::size_t>(P));
+    for (ProcId p = 0; p < P; ++p) {
+      Time ready = 0;
+      for (const std::size_t ei : graph.inEdges(v)) {
+        const auto& e = graph.edges()[ei];
+        const auto iu = static_cast<std::size_t>(e.src);
+        const Time comm = (procOf[iu] == p) ? 0 : e.data;
+        ready = std::max(ready, aft[iu] + comm);
+      }
+      const Time len = platform.execTime(graph.work(v), p);
+      const Time start =
+          timelines[static_cast<std::size_t>(p)].earliestFit(ready, len);
+      candidates.push_back(
+          {p, start, start + len,
+           estimateBrownEnergy(profile, platformIdle,
+                               platform.proc(p).workPower, start, len)});
+    }
+    // Normalise both objectives by the per-task maxima, then mix.
+    Time maxEft = 1;
+    Cost maxBrown = 1;
+    for (const Candidate& c : candidates) {
+      maxEft = std::max(maxEft, c.eft);
+      maxBrown = std::max(maxBrown, c.brown);
+    }
+    const Candidate* best = nullptr;
+    double bestScore = 0.0;
+    for (const Candidate& c : candidates) {
+      const double score =
+          opts.alpha * static_cast<double>(c.eft) /
+              static_cast<double>(maxEft) +
+          (1.0 - opts.alpha) * static_cast<double>(c.brown) /
+              static_cast<double>(maxBrown);
+      if (best == nullptr || score < bestScore ||
+          (score == bestScore && c.proc < best->proc)) {
+        best = &c;
+        bestScore = score;
+      }
+    }
+    const auto ivx = static_cast<std::size_t>(v);
+    procOf[ivx] = best->proc;
+    ast[ivx] = best->start;
+    aft[ivx] = best->eft;
+    timelines[static_cast<std::size_t>(best->proc)].insert(best->start,
+                                                           best->eft);
+  }
+
+  HeftResult res{Mapping(n, P), std::move(ast), std::move(aft), 0};
+  std::vector<std::vector<TaskId>> perProc(static_cast<std::size_t>(P));
+  for (TaskId v = 0; v < n; ++v)
+    perProc[static_cast<std::size_t>(procOf[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  for (ProcId p = 0; p < P; ++p) {
+    auto& tasks = perProc[static_cast<std::size_t>(p)];
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      const Time sa = res.startTimes[static_cast<std::size_t>(a)];
+      const Time sb = res.startTimes[static_cast<std::size_t>(b)];
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+    for (const TaskId v : tasks) res.mapping.assign(v, p);
+  }
+  for (TaskId v = 0; v < n; ++v)
+    res.makespan =
+        std::max(res.makespan, res.finishTimes[static_cast<std::size_t>(v)]);
+  return res;
+}
+
+} // namespace cawo

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "core/power_profile.hpp"
+#include "heft/heft.hpp"
+
+/// \file green_heft.hpp
+/// A carbon-aware HEFT extension — the paper's stated future work
+/// (Section 7: "targeting the design of a carbon-aware extension of HEFT
+/// ... we envision a two-pass approach: a first pass devoted to mapping
+/// and ordering ... and a second pass devoted to optimizing the schedule
+/// through the approach followed in this paper").
+///
+/// This module implements that first pass: HEFT's processor-selection
+/// phase is modified so a candidate (processor, slot) is scored by a
+/// convex combination of its earliest finish time and an estimate of the
+/// brown energy the execution window would draw:
+///
+///   score = alpha · EFT/maxEFT + (1 − alpha) · brown/maxBrown,
+///
+/// where `brown` integrates max(0, P_work − headroom(t)) over the window
+/// and headroom(t) = max(0, G(t) − Σ P_idle) is the green power left after
+/// the platform's idle draw. alpha = 1 recovers plain HEFT. The second
+/// pass is a regular CaWoSched run on the produced mapping.
+
+namespace cawo {
+
+struct GreenHeftOptions {
+  /// Trade-off between makespan (1.0 = plain HEFT) and carbon (0.0).
+  double alpha = 0.5;
+};
+
+/// Run the carbon-aware HEFT variant against a green-power profile. The
+/// profile should extend far enough to cover the expected makespan; the
+/// tail beyond the profile horizon is treated as having zero headroom
+/// (fully brown), which biases tasks into the covered green windows.
+HeftResult runGreenHeft(const TaskGraph& graph, const Platform& platform,
+                        const PowerProfile& profile,
+                        const GreenHeftOptions& opts = {});
+
+/// Estimated brown energy of executing on processor power `workPower`
+/// during [start, start+len) under `profile` headroom (exposed for tests).
+Cost estimateBrownEnergy(const PowerProfile& profile, Power platformIdle,
+                         Power workPower, Time start, Time len);
+
+} // namespace cawo

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+#include "util/types.hpp"
+
+/// \file heft.hpp
+/// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al., TPDS 2002).
+///
+/// The paper assumes the task mapping and ordering are produced by a
+/// carbon-unaware list scheduler, "for instance as the result of executing
+/// the de-facto standard HEFT algorithm", and generates its evaluation
+/// mappings with "our own basic HEFT implementation without special
+/// techniques for tie-breaking". This module reproduces that substrate:
+///
+///  1. *Rank phase*: upward ranks computed with average execution costs
+///     over all processors and the plain data volume as the average
+///     communication cost (unit bandwidth).
+///  2. *Processor-selection phase*: tasks in non-increasing rank order are
+///     placed on the processor that minimises their earliest finish time,
+///     using insertion-based slot search; ties resolved by processor id.
+
+namespace cawo {
+
+struct HeftResult {
+  Mapping mapping;           ///< task → processor plus per-processor order
+  std::vector<Time> startTimes; ///< HEFT's planned start per task (AST)
+  std::vector<Time> finishTimes;
+  Time makespan = 0;
+};
+
+/// Run HEFT on the workflow. The resulting per-processor orders are sorted
+/// by HEFT start time, and `startTimes` can serve as the communication
+/// priority when building the enhanced graph.
+HeftResult runHeft(const TaskGraph& graph, const Platform& platform);
+
+/// The upward rank of every task (exposed for tests).
+std::vector<double> heftUpwardRanks(const TaskGraph& graph,
+                                    const Platform& platform);
+
+} // namespace cawo

@@ -1,0 +1,70 @@
+#include "profile/profile_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+void writeProfileCsv(std::ostream& out, const PowerProfile& profile) {
+  out << "length,green\n";
+  for (const Interval& iv : profile.intervals())
+    out << iv.length() << ',' << iv.green << '\n';
+}
+
+std::string toProfileCsvString(const PowerProfile& profile) {
+  std::ostringstream os;
+  writeProfileCsv(os, profile);
+  return os.str();
+}
+
+PowerProfile readProfileCsv(std::istream& in) {
+  PowerProfile profile;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "length,green") continue; // header
+    const auto fields = split(trimmed, ',');
+    CAWO_REQUIRE(fields.size() == 2,
+                 "profile CSV line " + std::to_string(lineNo) +
+                     ": expected 'length,green'");
+    try {
+      const Time length = std::stoll(std::string(trim(fields[0])));
+      const Power green = std::stoll(std::string(trim(fields[1])));
+      profile.appendInterval(length, green);
+    } catch (const std::logic_error&) {
+      throw PreconditionError("profile CSV line " + std::to_string(lineNo) +
+                              ": not an integer");
+    }
+  }
+  CAWO_REQUIRE(profile.numIntervals() > 0, "profile CSV contains no intervals");
+  return profile;
+}
+
+PowerProfile readProfileCsvString(const std::string& text) {
+  std::istringstream is(text);
+  return readProfileCsv(is);
+}
+
+void writeProfileCsvFile(const std::string& path,
+                         const PowerProfile& profile) {
+  std::ofstream out(path);
+  CAWO_REQUIRE(out.good(), "cannot open profile CSV for writing: " + path);
+  writeProfileCsv(out, profile);
+}
+
+PowerProfile readProfileCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  CAWO_REQUIRE(in.good(), "cannot open profile CSV: " + path);
+  return readProfileCsv(in);
+}
+
+} // namespace cawo

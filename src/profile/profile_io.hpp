@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/power_profile.hpp"
+
+/// \file profile_io.hpp
+/// CSV interchange for green-power profiles, so measured grid/PV traces
+/// can be fed into the scheduler. Format: one interval per line,
+/// `length,green`, with optional `#` comments and a tolerated header line
+/// `length,green`.
+
+namespace cawo {
+
+void writeProfileCsv(std::ostream& out, const PowerProfile& profile);
+std::string toProfileCsvString(const PowerProfile& profile);
+
+/// Parse a profile from CSV; throws PreconditionError on malformed input.
+PowerProfile readProfileCsv(std::istream& in);
+PowerProfile readProfileCsvString(const std::string& text);
+
+void writeProfileCsvFile(const std::string& path,
+                         const PowerProfile& profile);
+PowerProfile readProfileCsvFile(const std::string& path);
+
+} // namespace cawo

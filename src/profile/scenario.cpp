@@ -1,0 +1,76 @@
+#include "profile/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cawo {
+
+const char* scenarioName(Scenario s) {
+  switch (s) {
+  case Scenario::S1: return "S1";
+  case Scenario::S2: return "S2";
+  case Scenario::S3: return "S3";
+  case Scenario::S4: return "S4";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Normalised shape value in [0, 1] at relative position x ∈ [0, 1].
+double shapeValue(Scenario scenario, double x) {
+  switch (scenario) {
+  case Scenario::S1: {
+    const double c = 2.0 * x - 1.0;
+    return 1.0 - c * c;
+  }
+  case Scenario::S2:
+    return 1.0 - x * x;
+  case Scenario::S3:
+    // One full sine period, phase-shifted so the horizon starts with
+    // little green power: sin(2πx − π/2) mapped into [0, 1].
+    return 0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * x));
+  case Scenario::S4:
+    return 0.5;
+  }
+  return 0.0;
+}
+
+} // namespace
+
+PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
+                              Power sumWork, const ScenarioOptions& opts) {
+  CAWO_REQUIRE(horizon > 0, "horizon must be positive");
+  CAWO_REQUIRE(sumIdle >= 0 && sumWork >= 0, "negative power sums");
+  CAWO_REQUIRE(opts.numIntervals >= 1, "need at least one interval");
+  CAWO_REQUIRE(opts.perturbation >= 0.0 && opts.perturbation < 1.0,
+               "perturbation must be in [0, 1)");
+
+  const int J = std::min<int>(opts.numIntervals,
+                              static_cast<int>(horizon)); // ≥1-unit intervals
+  const Power gMin = sumIdle;
+  const Power gMax = sumIdle + (8 * sumWork) / 10; // idle + 80% of work
+  Rng rng(opts.seed);
+
+  PowerProfile profile;
+  const Time baseLen = horizon / J;
+  Time remainder = horizon % J;
+  for (int j = 0; j < J; ++j) {
+    const Time len = baseLen + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    const double x = (static_cast<double>(j) + 0.5) / static_cast<double>(J);
+    double f = shapeValue(scenario, x);
+    f *= 1.0 + rng.uniformReal(-opts.perturbation, opts.perturbation);
+    f = std::clamp(f, 0.0, 1.0);
+    const auto green = static_cast<Power>(
+        std::llround(static_cast<double>(gMin) +
+                     f * static_cast<double>(gMax - gMin)));
+    profile.appendInterval(len, std::clamp(green, gMin, gMax));
+  }
+  return profile;
+}
+
+} // namespace cawo

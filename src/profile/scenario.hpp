@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file scenario.hpp
+/// The four renewable-energy scenarios of Section 6.1.
+///
+/// The paper keeps the green budget between Σ P_idle (below that, the
+/// scheduler's decisions become irrelevant — everything overflows) and
+/// Σ P_idle + 0.8 · Σ P_work (above that, everything is free). Within that
+/// band the budget follows one of four shapes, with multiplicative random
+/// perturbations:
+///   S1 — inverted parabola ("−x²"): little green power early, rising to a
+///        midday peak, falling again (solar, morning→evening);
+///   S2 — the same situation observed from midday: starts at the peak and
+///        decreases ("x²");
+///   S3 — a 24 h sine (phase-shifted so the horizon starts low): a single
+///        broad daylight bump, gentler ramps than S1;
+///   S4 — constant (storage / nuclear, cf. the France setting in [38]).
+
+namespace cawo {
+
+enum class Scenario { S1, S2, S3, S4 };
+
+const char* scenarioName(Scenario s);
+
+struct ScenarioOptions {
+  int numIntervals = 24;
+  double perturbation = 0.1; ///< relative amplitude of the random noise
+  std::uint64_t seed = 7;
+};
+
+/// Generate a profile over [0, horizon) for the given platform power sums.
+/// \param sumIdle Σ of idle powers over all (enhanced) processors.
+/// \param sumWork Σ of working powers over all (enhanced) processors.
+PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
+                              Power sumWork, const ScenarioOptions& opts = {});
+
+} // namespace cawo

@@ -1,0 +1,58 @@
+#include "sim/instance.hpp"
+
+#include <cmath>
+
+#include "core/asap.hpp"
+#include "heft/heft.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+std::string InstanceSpec::label() const {
+  return std::string(familyName(family)) + "-" + std::to_string(targetTasks) +
+         "/c" + std::to_string(nodesPerType) + "/" + scenarioName(scenario) +
+         "/d" + formatFixed(deadlineFactor, 1);
+}
+
+Instance buildInstance(const InstanceSpec& spec) {
+  CAWO_REQUIRE(spec.deadlineFactor >= 1.0,
+               "deadline factor below 1.0 is infeasible by definition of D");
+
+  WorkflowGenOptions gopts;
+  gopts.targetTasks = spec.targetTasks;
+  gopts.seed = spec.seed;
+  TaskGraph graph = generateWorkflow(spec.family, gopts);
+
+  Platform platform = Platform::scaled(spec.nodesPerType);
+  HeftResult heft = runHeft(graph, platform);
+
+  LinkPowerOptions linkPower;
+  linkPower.seed = spec.seed ^ 0x11CC77EEULL;
+  EnhancedGraph gc = EnhancedGraph::build(graph, platform, heft.mapping,
+                                          linkPower, &heft.startTimes);
+
+  const Time d = asapMakespan(gc);
+  const Time deadline = static_cast<Time>(
+      std::llround(std::ceil(spec.deadlineFactor * static_cast<double>(d))));
+
+  Power sumWork = 0;
+  for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
+
+  ScenarioOptions sopts;
+  sopts.numIntervals = spec.numIntervals;
+  sopts.seed = spec.seed ^ 0x5CE11A21ULL;
+  PowerProfile profile = generateScenario(
+      spec.scenario, deadline, gc.totalIdlePower(), sumWork, sopts);
+
+  return Instance{spec,
+                  std::move(graph),
+                  std::move(platform),
+                  std::move(heft.mapping),
+                  std::move(gc),
+                  std::move(profile),
+                  d,
+                  deadline};
+}
+
+} // namespace cawo

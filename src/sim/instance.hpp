@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/enhanced_graph.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "core/power_profile.hpp"
+#include "core/task_graph.hpp"
+#include "profile/scenario.hpp"
+#include "workflow/generators.hpp"
+
+/// \file instance.hpp
+/// An experiment instance bundles everything the paper's simulations vary:
+/// a workflow (family × size), a cluster (nodes per processor type), a
+/// HEFT mapping, the communication-enhanced graph, a power-profile scenario
+/// and a deadline factor relative to the ASAP makespan D.
+
+namespace cawo {
+
+struct InstanceSpec {
+  WorkflowFamily family = WorkflowFamily::Atacseq;
+  int targetTasks = 200;
+  int nodesPerType = 2;   ///< paper: 12 (small) / 24 (large)
+  Scenario scenario = Scenario::S1;
+  double deadlineFactor = 1.5; ///< paper: 1.0, 1.5, 2.0, 3.0
+  int numIntervals = 24;
+  std::uint64_t seed = 1;
+
+  /// Human-readable identifier, e.g. "atacseq-200/c2/S1/d1.5".
+  std::string label() const;
+};
+
+struct Instance {
+  InstanceSpec spec;
+  TaskGraph graph;
+  Platform platform;
+  Mapping mapping;
+  EnhancedGraph gc;
+  PowerProfile profile;
+  Time asapMakespanD = 0; ///< the paper's D (tightest deadline)
+  Time deadline = 0;      ///< ceil(deadlineFactor * D)
+};
+
+/// Build the full instance: generate the workflow, run HEFT, build the
+/// enhanced graph (HEFT start times as communication priority), compute
+/// the ASAP makespan D, set the deadline, and generate the power profile
+/// over exactly [0, deadline).
+Instance buildInstance(const InstanceSpec& spec);
+
+} // namespace cawo

@@ -1,0 +1,110 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace cawo {
+
+std::vector<std::string> algorithmNames() {
+  std::vector<std::string> names{"ASAP"};
+  for (const VariantSpec& v : allVariants()) names.push_back(v.name());
+  return names;
+}
+
+InstanceResult runAllOnInstance(const Instance& instance,
+                                const CaWoParams& params) {
+  InstanceResult result;
+  result.spec = instance.spec;
+  result.deadline = instance.deadline;
+  result.numNodes = instance.gc.numNodes();
+
+  {
+    WallTimer timer;
+    const Schedule s = scheduleAsap(instance.gc);
+    const double ms = timer.elapsedMs();
+    const ValidationResult ok =
+        validateSchedule(instance.gc, s, instance.deadline);
+    CAWO_ASSERT(ok.ok, "ASAP produced an invalid schedule: " + ok.message);
+    result.runs.push_back(
+        {"ASAP", evaluateCost(instance.gc, instance.profile, s), ms});
+  }
+
+  for (const VariantSpec& v : allVariants()) {
+    WallTimer timer;
+    const Schedule s =
+        runVariant(instance.gc, instance.profile, instance.deadline, v, params);
+    const double ms = timer.elapsedMs();
+    const ValidationResult ok =
+        validateSchedule(instance.gc, s, instance.deadline);
+    CAWO_ASSERT(ok.ok, "variant " + v.name() +
+                           " produced an invalid schedule: " + ok.message);
+    result.runs.push_back(
+        {v.name(), evaluateCost(instance.gc, instance.profile, s), ms});
+  }
+  return result;
+}
+
+std::vector<InstanceResult> runSuite(const std::vector<InstanceSpec>& specs,
+                                     const CaWoParams& params,
+                                     unsigned threads) {
+  std::vector<InstanceResult> results(specs.size());
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(specs.size() ? specs.size() : 1));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::string firstError;
+  std::mutex errorMutex;
+
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      try {
+        const Instance instance = buildInstance(specs[i]);
+        results[i] = runAllOnInstance(instance, params);
+      } catch (const std::exception& e) {
+        const std::scoped_lock lock(errorMutex);
+        if (!failed.exchange(true)) firstError = e.what();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  CAWO_REQUIRE(!failed.load(), "suite run failed: " + firstError);
+  return results;
+}
+
+std::vector<InstanceSpec> fullGrid(WorkflowFamily family, int targetTasks,
+                                   int nodesPerType, std::uint64_t seed,
+                                   int numIntervals) {
+  std::vector<InstanceSpec> specs;
+  for (const Scenario sc :
+       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
+    for (const double f : {1.0, 1.5, 2.0, 3.0}) {
+      InstanceSpec spec;
+      spec.family = family;
+      spec.targetTasks = targetTasks;
+      spec.nodesPerType = nodesPerType;
+      spec.scenario = sc;
+      spec.deadlineFactor = f;
+      spec.numIntervals = numIntervals;
+      spec.seed = seed;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+} // namespace cawo

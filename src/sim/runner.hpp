@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cawosched.hpp"
+#include "sim/instance.hpp"
+
+/// \file runner.hpp
+/// Runs ASAP plus the 16 CaWoSched variants on experiment instances,
+/// validating every schedule and recording carbon cost and running time.
+/// Instances are processed in parallel across hardware threads; every run
+/// is deterministic, so the parallelism never changes the results.
+
+namespace cawo {
+
+struct AlgoRun {
+  std::string algorithm;
+  Cost cost = 0;
+  double millis = 0.0;
+};
+
+struct InstanceResult {
+  InstanceSpec spec;
+  Time deadline = 0;
+  TaskId numNodes = 0; ///< nodes of the enhanced graph (incl. comm tasks)
+  std::vector<AlgoRun> runs; ///< index-aligned with the algorithm list
+};
+
+/// "ASAP" followed by the 16 variant names in canonical order.
+std::vector<std::string> algorithmNames();
+
+/// Run all algorithms on one (already built) instance.
+InstanceResult runAllOnInstance(const Instance& instance,
+                                const CaWoParams& params = {});
+
+/// Build every instance and run all algorithms; `threads == 0` means
+/// hardware concurrency. Results are ordered like `specs`.
+std::vector<InstanceResult> runSuite(const std::vector<InstanceSpec>& specs,
+                                     const CaWoParams& params = {},
+                                     unsigned threads = 0);
+
+/// The paper's default experiment grid: every (scenario × deadline factor)
+/// combination — 16 power profiles per workflow/cluster pair.
+std::vector<InstanceSpec> fullGrid(WorkflowFamily family, int targetTasks,
+                                   int nodesPerType, std::uint64_t seed,
+                                   int numIntervals = 24);
+
+} // namespace cawo

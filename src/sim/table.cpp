@@ -1,0 +1,79 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CAWO_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  CAWO_REQUIRE(cells.size() == headers_.size(),
+               "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << ' ' << padRight(row[c], width[c]) << " |";
+    out << "\n";
+  };
+  auto printSep = [&]() {
+    out << "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      out << std::string(width[c] + 2, '-') << "+";
+    out << "\n";
+  };
+
+  printSep();
+  printRow(headers_);
+  printSep();
+  for (const auto& row : rows_) printRow(row);
+  printSep();
+}
+
+void printBarChart(std::ostream& out, const std::string& title,
+                   const std::vector<std::string>& labels,
+                   const std::vector<double>& values, int barWidth,
+                   int precision) {
+  CAWO_REQUIRE(labels.size() == values.size(), "labels/values mismatch");
+  if (!title.empty()) out << title << "\n";
+  std::size_t labelWidth = 0;
+  double maxValue = 0.0;
+  for (const auto& l : labels) labelWidth = std::max(labelWidth, l.size());
+  for (const double v : values) maxValue = std::max(maxValue, v);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int bars =
+        maxValue > 0.0
+            ? static_cast<int>(std::lround(values[i] / maxValue * barWidth))
+            : 0;
+    out << "  " << padRight(labels[i], labelWidth) << "  "
+        << padLeft(formatFixed(values[i], precision), precision + 6) << "  "
+        << std::string(static_cast<std::size_t>(std::max(bars, 0)), '#')
+        << "\n";
+  }
+}
+
+void printHeading(std::ostream& out, const std::string& text) {
+  out << "\n" << std::string(text.size() + 4, '=') << "\n"
+      << "| " << text << " |\n"
+      << std::string(text.size() + 4, '=') << "\n";
+}
+
+} // namespace cawo

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII rendering for the bench binaries: aligned tables for the paper's
+/// tables and numeric series, and horizontal bar charts for the figures.
+
+namespace cawo {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  void print(std::ostream& out) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print `label: value` lines with a proportional bar, e.g.
+///   pressWR-LS  0.58  ##########
+void printBarChart(std::ostream& out, const std::string& title,
+                   const std::vector<std::string>& labels,
+                   const std::vector<double>& values, int barWidth = 40,
+                   int precision = 3);
+
+/// A section header used by all bench binaries.
+void printHeading(std::ostream& out, const std::string& text);
+
+} // namespace cawo

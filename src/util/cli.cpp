@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& knownFlags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    CAWO_REQUIRE(startsWith(arg, "--"), "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "1"; // boolean flag
+      }
+    }
+    CAWO_REQUIRE(std::find(knownFlags.begin(), knownFlags.end(), name) !=
+                     knownFlags.end(),
+                 "unknown flag --" + name);
+    values_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::int64_t CliArgs::getInt(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::getDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::getString(const std::string& name,
+                               const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second;
+}
+
+} // namespace cawo

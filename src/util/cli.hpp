@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for bench/example binaries.
+///
+/// Supported syntax: `--name=value`, `--name value`, and boolean `--name`.
+/// Unknown flags raise an error so typos don't silently change experiments.
+
+namespace cawo {
+
+class CliArgs {
+public:
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& knownFlags);
+
+  bool has(const std::string& name) const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+} // namespace cawo

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file require.hpp
+/// Precondition / invariant checking helpers.
+///
+/// Following the C++ Core Guidelines (I.6 / E.12), we validate public-API
+/// preconditions with exceptions carrying a precise message rather than
+/// asserting, so library consumers get actionable errors in Release builds.
+
+namespace cawo {
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InvariantError : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwPrecondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throwInvariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+} // namespace detail
+
+} // namespace cawo
+
+/// Validate a caller-supplied argument; throws cawo::PreconditionError.
+#define CAWO_REQUIRE(expr, msg)                                                \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::cawo::detail::throwPrecondition(#expr, __FILE__, __LINE__, (msg));     \
+  } while (false)
+
+/// Check an internal invariant; throws cawo::InvariantError.
+#define CAWO_ASSERT(expr, msg)                                                 \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::cawo::detail::throwInvariant(#expr, __FILE__, __LINE__, (msg));        \
+  } while (false)

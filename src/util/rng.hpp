@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/require.hpp"
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// We ship our own small generator (xoshiro256**, seeded via SplitMix64)
+/// instead of `std::mt19937` + `std::*_distribution` because the standard
+/// distributions are not reproducible across standard-library
+/// implementations; every experiment in this repo must be bit-for-bit
+/// reproducible from its 64-bit seed.
+
+namespace cawo {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, tiny state.
+/// Satisfies UniformRandomBitGenerator so it can drive std algorithms.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed0fCA2B0ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection
+  /// to avoid modulo bias.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    CAWO_REQUIRE(lo <= hi, "uniformInt: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next()); // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    CAWO_REQUIRE(lo <= hi, "uniformReal: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Standard normal via Marsaglia polar method (reproducible, no libm
+  /// differences in trig functions across platforms).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    CAWO_REQUIRE(stddev >= 0.0, "normal: negative stddev");
+    if (haveSpare_) {
+      haveSpare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    haveSpare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Positive integer drawn from Normal(mean, stddev), clamped to
+  /// [minValue, +inf). Used for task and edge weights.
+  std::int64_t normalPositiveInt(double mean, double stddev,
+                                 std::int64_t minValue = 1) {
+    const double d = normal(mean, stddev);
+    auto r = static_cast<std::int64_t>(std::llround(d));
+    return r < minValue ? minValue : r;
+  }
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool haveSpare_ = false;
+};
+
+} // namespace cawo

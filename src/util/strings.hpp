@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.hpp
+/// Small string utilities shared by the DOT parser, CLI and table printers.
+
+namespace cawo {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Render a double with fixed precision (for tables).
+std::string formatFixed(double value, int precision);
+
+/// Left-pad / right-pad a string to the given width.
+std::string padLeft(std::string s, std::size_t width);
+std::string padRight(std::string s, std::size_t width);
+
+} // namespace cawo

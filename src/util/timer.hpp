@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.hpp
+/// Small wall-clock timer for the running-time experiments (Figures 8/12/13).
+
+namespace cawo {
+
+class WallTimer {
+public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in milliseconds.
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed wall time in seconds.
+  double elapsedSec() const { return elapsedMs() / 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace cawo

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental integer types used throughout CaWoSched.
+///
+/// The paper expresses every quantity as an integer multiple of a common
+/// time unit; we mirror that with 64-bit signed integers so that products
+/// of time spans and power levels (carbon cost) cannot overflow for any
+/// instance we generate.
+
+namespace cawo {
+
+/// Discrete time, in abstract time units (the paper's unit grid).
+using Time = std::int64_t;
+
+/// Power draw per time unit (idle, working, or green-budget values).
+using Power = std::int64_t;
+
+/// Carbon cost: (power above the green budget) x (time units).
+using Cost = std::int64_t;
+
+/// Normalised amount of work of a task (vertex weight). The actual running
+/// time is `ceil(work / speed)` on the processor the task is mapped to.
+using Work = std::int64_t;
+
+/// Amount of data on an edge (comm time at unit bandwidth).
+using Data = std::int64_t;
+
+/// Index of a task in a TaskGraph or of a node in an EnhancedGraph.
+using TaskId = std::int32_t;
+
+/// Index of a processor (real compute node or fictional link processor).
+using ProcId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr ProcId kInvalidProc = -1;
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+inline constexpr Cost kCostInfinity = std::numeric_limits<Cost>::max() / 4;
+
+} // namespace cawo

@@ -1,0 +1,198 @@
+#include "workflow/dot_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+namespace {
+
+std::string quoteName(const std::string& name) {
+  std::string out = "\"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Parse `key=value, key=value` attribute lists inside [...].
+std::map<std::string, std::string> parseAttrs(std::string_view text) {
+  std::map<std::string, std::string> attrs;
+  for (const std::string& part : split(text, ',')) {
+    const std::string_view kv = trim(part);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    CAWO_REQUIRE(eq != std::string_view::npos,
+                 "malformed attribute: " + std::string(kv));
+    std::string key{trim(kv.substr(0, eq))};
+    std::string value{trim(kv.substr(eq + 1))};
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"')
+      value = value.substr(1, value.size() - 2);
+    attrs[key] = value;
+  }
+  return attrs;
+}
+
+/// Read one identifier (quoted or bare) starting at `pos`; advances pos.
+std::string readIdentifier(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+    ++pos;
+  CAWO_REQUIRE(pos < s.size(), "unexpected end of statement");
+  std::string id;
+  if (s[pos] == '"') {
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\' && pos + 1 < s.size()) ++pos;
+      id += s[pos++];
+    }
+    CAWO_REQUIRE(pos < s.size(), "unterminated quoted identifier");
+    ++pos; // closing quote
+  } else {
+    while (pos < s.size() && !std::isspace(static_cast<unsigned char>(s[pos])) &&
+           s[pos] != '[' && s[pos] != '-' && s[pos] != ';')
+      id += s[pos++];
+  }
+  CAWO_REQUIRE(!id.empty(), "empty identifier in DOT statement");
+  return id;
+}
+
+} // namespace
+
+void writeDot(std::ostream& out, const TaskGraph& graph,
+              const std::string& graphName) {
+  out << "digraph " << quoteName(graphName) << " {\n";
+  for (TaskId v = 0; v < graph.numTasks(); ++v) {
+    out << "  " << quoteName(graph.name(v)) << " [work=" << graph.work(v)
+        << "];\n";
+  }
+  for (const auto& e : graph.edges()) {
+    out << "  " << quoteName(graph.name(e.src)) << " -> "
+        << quoteName(graph.name(e.dst)) << " [data=" << e.data << "];\n";
+  }
+  out << "}\n";
+}
+
+std::string toDotString(const TaskGraph& graph, const std::string& graphName) {
+  std::ostringstream os;
+  writeDot(os, graph, graphName);
+  return os.str();
+}
+
+TaskGraph readDot(std::istream& in) {
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return readDotString(text);
+}
+
+TaskGraph readDotString(const std::string& text) {
+  TaskGraph graph;
+  std::map<std::string, TaskId> ids;
+  auto getNode = [&](const std::string& name, Work work,
+                     bool hasWork) -> TaskId {
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const TaskId id = graph.addTask(name, hasWork ? work : 1);
+    ids.emplace(name, id);
+    return id;
+  };
+
+  // Strip comments, then find the graph body.
+  std::string clean;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto slashes = line.find("//");
+    if (slashes != std::string::npos) line = line.substr(0, slashes);
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    clean += line;
+    clean += '\n';
+  }
+  const auto open = clean.find('{');
+  const auto close = clean.rfind('}');
+  CAWO_REQUIRE(open != std::string::npos && close != std::string::npos &&
+                   open < close,
+               "DOT document has no graph body");
+  const std::string body = clean.substr(open + 1, close - open - 1);
+
+  // Statements are separated by ';' or newlines.
+  std::string statement;
+  auto flush = [&]() {
+    const std::string s{trim(statement)};
+    statement.clear();
+    if (s.empty()) return;
+
+    std::size_t pos = 0;
+    const std::string first = readIdentifier(s, pos);
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+
+    if (pos + 1 < s.size() && s[pos] == '-' && s[pos + 1] == '>') {
+      pos += 2;
+      const std::string second = readIdentifier(s, pos);
+      Data data = 0;
+      const auto lb = s.find('[', pos);
+      if (lb != std::string::npos) {
+        const auto rb = s.find(']', lb);
+        CAWO_REQUIRE(rb != std::string::npos, "unterminated attribute list");
+        const auto attrs = parseAttrs(s.substr(lb + 1, rb - lb - 1));
+        const auto it = attrs.find("data");
+        if (it != attrs.end()) data = std::stoll(it->second);
+      }
+      const TaskId a = getNode(first, 1, false);
+      const TaskId b = getNode(second, 1, false);
+      graph.addEdge(a, b, data);
+      return;
+    }
+
+    // Node statement.
+    if (first == "graph" || first == "node" || first == "edge" ||
+        first == "rankdir")
+      return; // global attribute statements — ignored
+    Work work = 1;
+    bool hasWork = false;
+    const auto lb = s.find('[', pos);
+    if (lb != std::string::npos) {
+      const auto rb = s.find(']', lb);
+      CAWO_REQUIRE(rb != std::string::npos, "unterminated attribute list");
+      const auto attrs = parseAttrs(s.substr(lb + 1, rb - lb - 1));
+      const auto it = attrs.find("work");
+      if (it != attrs.end()) {
+        work = std::stoll(it->second);
+        hasWork = true;
+      }
+    }
+    getNode(first, work, hasWork);
+  };
+
+  for (const char c : body) {
+    if (c == ';' || c == '\n') {
+      flush();
+    } else {
+      statement += c;
+    }
+  }
+  flush();
+  return graph;
+}
+
+void writeDotFile(const std::string& path, const TaskGraph& graph) {
+  std::ofstream out(path);
+  CAWO_REQUIRE(out.good(), "cannot open DOT output file: " + path);
+  writeDot(out, graph);
+}
+
+TaskGraph readDotFile(const std::string& path) {
+  std::ifstream in(path);
+  CAWO_REQUIRE(in.good(), "cannot open DOT input file: " + path);
+  return readDot(in);
+}
+
+} // namespace cawo

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/task_graph.hpp"
+
+/// \file dot_io.hpp
+/// Reading and writing workflow DAGs in (a subset of) Graphviz DOT format.
+///
+/// The paper converts Nextflow pipeline definitions to `.dot` files and
+/// strips Nextflow-internal pseudo tasks before scheduling. This module
+/// provides the same interchange path: `writeDot` emits a canonical DOT
+/// document with `work` vertex attributes and `data` edge attributes, and
+/// `readDot` parses that subset back (node statements, edge statements,
+/// quoted identifiers, `//` and `#` comments). Nodes first appearing in an
+/// edge statement are created with a default work of 1, mirroring
+/// pseudo-task handling.
+
+namespace cawo {
+
+void writeDot(std::ostream& out, const TaskGraph& graph,
+              const std::string& graphName = "workflow");
+
+std::string toDotString(const TaskGraph& graph,
+                        const std::string& graphName = "workflow");
+
+/// Parse a DOT document; throws PreconditionError on malformed input.
+TaskGraph readDot(std::istream& in);
+
+TaskGraph readDotString(const std::string& text);
+
+/// File helpers; throw on I/O errors.
+void writeDotFile(const std::string& path, const TaskGraph& graph);
+TaskGraph readDotFile(const std::string& path);
+
+} // namespace cawo

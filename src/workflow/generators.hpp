@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/task_graph.hpp"
+#include "util/types.hpp"
+
+/// \file generators.hpp
+/// Synthetic workflow generators modelled on the nf-core pipelines used in
+/// the paper's evaluation (atacseq, bacass, eager, methylseq) plus generic
+/// DAG families for tests.
+///
+/// The paper obtains its instances by taking a real Nextflow trace as a
+/// model graph and scaling it up WFGen-style; the pipelines are per-sample
+/// analysis chains with occasional fan-out (per replicate / chromosome),
+/// global preparation sources and global merge/QC sinks. These generators
+/// replicate that structure directly: a target task count is reached by
+/// increasing the number of samples, per-sample subgraphs are stamped out
+/// from a family-specific template, and vertex/edge weights follow normal
+/// distributions with vertex weights dominating edge weights (Section 6.1).
+
+namespace cawo {
+
+enum class WorkflowFamily { Atacseq, Bacass, Eager, Methylseq };
+
+const char* familyName(WorkflowFamily f);
+
+struct WorkflowGenOptions {
+  int targetTasks = 200;        ///< approximate |V| of the generated DAG
+  std::uint64_t seed = 1;
+  double vertexWorkMean = 160.0;
+  double vertexWorkStd = 40.0;
+  double edgeDataMean = 40.0;   ///< vertex weights dominate edge weights
+  double edgeDataStd = 15.0;
+};
+
+/// Generate a workflow of the given family with roughly `targetTasks`
+/// tasks (never fewer than the family's minimal template).
+TaskGraph generateWorkflow(WorkflowFamily family,
+                           const WorkflowGenOptions& opts);
+
+/// --- generic families (tests / examples) ---
+
+/// A simple chain v_0 → v_1 → ... → v_{n-1}.
+TaskGraph genChain(int n, const WorkflowGenOptions& opts);
+
+/// A fork-join: source → `width` parallel branches of `depth` tasks → sink.
+TaskGraph genForkJoin(int width, int depth, const WorkflowGenOptions& opts);
+
+/// `n` independent tasks (no edges).
+TaskGraph genIndependent(int n, const WorkflowGenOptions& opts);
+
+/// A layered random DAG: `layers` layers of roughly equal size; each task
+/// draws 1..maxFanIn predecessors from the previous layer.
+TaskGraph genLayeredRandom(int n, int layers, int maxFanIn,
+                           const WorkflowGenOptions& opts);
+
+/// An Erdős–Rényi-style random DAG: edge (i, j), i < j in a random
+/// topological order, present with probability `edgeProb`.
+TaskGraph genRandomDag(int n, double edgeProb, const WorkflowGenOptions& opts);
+
+} // namespace cawo

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/budget_tree.hpp"
+#include "util/rng.hpp"
+
+namespace cawo {
+namespace {
+
+/// Straightforward reference implementation backed by a std::map.
+class NaiveBudget {
+public:
+  NaiveBudget(const std::vector<Time>& begins,
+              const std::vector<Power>& budgets, Time horizon)
+      : horizon_(horizon) {
+    for (std::size_t i = 0; i < begins.size(); ++i)
+      segs_[begins[i]] = budgets[i];
+  }
+
+  void splitAt(Time t) {
+    if (t <= 0 || t >= horizon_) return;
+    auto it = segs_.upper_bound(t);
+    --it;
+    if (it->first == t) return;
+    segs_[t] = it->second;
+  }
+
+  void consume(Time a, Time b, Power amount) {
+    if (a >= b) return;
+    splitAt(a);
+    splitAt(b);
+    for (auto it = segs_.lower_bound(a); it != segs_.end() && it->first < b;
+         ++it)
+      it->second -= amount;
+  }
+
+  BudgetTree::MaxResult maxInRange(Time lo, Time hi) const {
+    BudgetTree::MaxResult res;
+    for (auto it = segs_.lower_bound(lo); it != segs_.end() && it->first <= hi;
+         ++it) {
+      if (!res.found || it->second > res.budget) {
+        res.found = true;
+        res.budget = it->second;
+        res.begin = it->first;
+      }
+    }
+    return res;
+  }
+
+  Power budgetAt(Time t) const {
+    auto it = segs_.upper_bound(t);
+    --it;
+    return it->second;
+  }
+
+  std::size_t size() const { return segs_.size(); }
+
+private:
+  std::map<Time, Power> segs_;
+  Time horizon_;
+};
+
+TEST(BudgetTree, BasicMaxQuery) {
+  BudgetTree tree({0, 10, 20}, {5, 9, 3}, 30);
+  const auto r = tree.maxInRange(0, 29);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.begin, 10);
+  EXPECT_EQ(r.budget, 9);
+}
+
+TEST(BudgetTree, TiesPreferTheEarliestSegment) {
+  BudgetTree tree({0, 10, 20}, {7, 7, 7}, 30);
+  const auto r = tree.maxInRange(5, 29);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.begin, 10); // 0 is outside [5, 29]
+}
+
+TEST(BudgetTree, EmptyRangeReportsNotFound) {
+  BudgetTree tree({0}, {5}, 10);
+  EXPECT_FALSE(tree.maxInRange(3, 2).found);
+  EXPECT_FALSE(tree.maxInRange(1, 4).found); // no segment *begins* in [1,4]
+}
+
+TEST(BudgetTree, ConsumeSplitsAndDecrements) {
+  BudgetTree tree({0}, {10}, 20);
+  tree.consume(5, 12, 4);
+  EXPECT_EQ(tree.budgetAt(0), 10);
+  EXPECT_EQ(tree.budgetAt(5), 6);
+  EXPECT_EQ(tree.budgetAt(11), 6);
+  EXPECT_EQ(tree.budgetAt(12), 10);
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(BudgetTree, BudgetsMayGoNegative) {
+  BudgetTree tree({0}, {2}, 10);
+  tree.consume(0, 10, 5);
+  EXPECT_EQ(tree.budgetAt(3), -3);
+}
+
+TEST(BudgetTree, SplitAtBoundaryIsNoOp) {
+  BudgetTree tree({0, 5}, {1, 2}, 10);
+  tree.splitAt(5);
+  tree.splitAt(0);
+  tree.splitAt(10);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BudgetTree, DumpReflectsOperations) {
+  BudgetTree tree({0, 6}, {4, 8}, 12);
+  tree.consume(3, 9, 2);
+  const auto d = tree.dump();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], (std::pair<Time, Power>{0, 4}));
+  EXPECT_EQ(d[1], (std::pair<Time, Power>{3, 2}));
+  EXPECT_EQ(d[2], (std::pair<Time, Power>{6, 6}));
+  EXPECT_EQ(d[3], (std::pair<Time, Power>{9, 8}));
+}
+
+TEST(BudgetTree, RejectsMalformedConstruction) {
+  EXPECT_THROW(BudgetTree({1}, {5}, 10), PreconditionError);       // not at 0
+  EXPECT_THROW(BudgetTree({0, 0}, {5, 5}, 10), PreconditionError); // dup
+  EXPECT_THROW(BudgetTree({0, 12}, {5, 5}, 10), PreconditionError);
+  EXPECT_THROW(BudgetTree({0}, {5, 6}, 10), PreconditionError);
+}
+
+// Property: the treap agrees with the naive map implementation under long
+// random operation sequences.
+class BudgetTreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetTreeFuzz, MatchesNaiveReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 11);
+  const Time horizon = 200;
+  std::vector<Time> begins{0};
+  std::vector<Power> budgets{rng.uniformInt(0, 50)};
+  while (begins.back() < horizon - 10 && rng.uniform01() < 0.8) {
+    begins.push_back(begins.back() + rng.uniformInt(1, 20));
+    budgets.push_back(rng.uniformInt(0, 50));
+  }
+  BudgetTree tree(begins, budgets, horizon);
+  NaiveBudget naive(begins, budgets, horizon);
+
+  for (int op = 0; op < 300; ++op) {
+    const int kind = static_cast<int>(rng.uniformInt(0, 2));
+    if (kind == 0) {
+      const Time a = rng.uniformInt(0, horizon - 1);
+      const Time b = rng.uniformInt(a + 1, horizon);
+      const Power amt = rng.uniformInt(1, 10);
+      tree.consume(a, b, amt);
+      naive.consume(a, b, amt);
+    } else if (kind == 1) {
+      const Time lo = rng.uniformInt(0, horizon - 1);
+      const Time hi = rng.uniformInt(lo, horizon - 1);
+      const auto a = tree.maxInRange(lo, hi);
+      const auto b = naive.maxInRange(lo, hi);
+      ASSERT_EQ(a.found, b.found);
+      if (a.found) {
+        EXPECT_EQ(a.budget, b.budget);
+        EXPECT_EQ(a.begin, b.begin);
+      }
+    } else {
+      const Time t = rng.uniformInt(0, horizon - 1);
+      EXPECT_EQ(tree.budgetAt(t), naive.budgetAt(t));
+    }
+  }
+  EXPECT_EQ(tree.size(), naive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BudgetTreeFuzz, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace cawo

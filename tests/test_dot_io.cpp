@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "workflow/dot_io.hpp"
+#include "workflow/generators.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(DotIo, RoundTripPreservesTheGraph) {
+  WorkflowGenOptions opts;
+  opts.targetTasks = 60;
+  opts.seed = 8;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Atacseq, opts);
+  const TaskGraph back = readDotString(toDotString(g));
+  ASSERT_EQ(back.numTasks(), g.numTasks());
+  ASSERT_EQ(back.numEdges(), g.numEdges());
+  for (TaskId v = 0; v < g.numTasks(); ++v) {
+    EXPECT_EQ(back.name(v), g.name(v));
+    EXPECT_EQ(back.work(v), g.work(v));
+  }
+  for (std::size_t i = 0; i < g.numEdges(); ++i) {
+    EXPECT_EQ(back.edges()[i].src, g.edges()[i].src);
+    EXPECT_EQ(back.edges()[i].dst, g.edges()[i].dst);
+    EXPECT_EQ(back.edges()[i].data, g.edges()[i].data);
+  }
+}
+
+TEST(DotIo, ParsesHandWrittenDocument) {
+  const std::string text = R"(
+    // a Nextflow-style export
+    digraph "flow" {
+      "fastqc" [work=12];
+      "align"  [work=90];
+      # a comment
+      "fastqc" -> "align" [data=7];
+      "align" -> "report";
+    }
+  )";
+  const TaskGraph g = readDotString(text);
+  ASSERT_EQ(g.numTasks(), 3);
+  EXPECT_EQ(g.name(0), "fastqc");
+  EXPECT_EQ(g.work(0), 12);
+  EXPECT_EQ(g.work(1), 90);
+  EXPECT_EQ(g.work(2), 1); // implicit node gets default work
+  ASSERT_EQ(g.numEdges(), 2u);
+  EXPECT_EQ(g.edges()[0].data, 7);
+  EXPECT_EQ(g.edges()[1].data, 0);
+}
+
+TEST(DotIo, HandlesQuotedNamesWithSpacesAndEscapes) {
+  const std::string text =
+      "digraph g { \"task one\" [work=3]; \"with \\\"quote\\\"\" [work=4]; "
+      "\"task one\" -> \"with \\\"quote\\\"\" [data=2]; }";
+  const TaskGraph g = readDotString(text);
+  ASSERT_EQ(g.numTasks(), 2);
+  EXPECT_EQ(g.name(0), "task one");
+  EXPECT_EQ(g.name(1), "with \"quote\"");
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(DotIo, IgnoresGlobalAttributeStatements) {
+  const std::string text = R"(digraph g {
+    rankdir LR;
+    node [shape=box];
+    a [work=2];
+    b [work=3];
+    a -> b [data=1];
+  })";
+  const TaskGraph g = readDotString(text);
+  EXPECT_EQ(g.numTasks(), 2);
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(DotIo, StatementsMaySpanSemicolonsOrNewlines) {
+  const std::string text = "digraph g { a [work=1]; b [work=2]\na -> b }";
+  const TaskGraph g = readDotString(text);
+  EXPECT_EQ(g.numTasks(), 2);
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(DotIo, MalformedDocumentsAreRejected) {
+  EXPECT_THROW(readDotString("not a dot file"), PreconditionError);
+  EXPECT_THROW(readDotString("digraph g { a [work=1 }"), PreconditionError);
+}
+
+TEST(DotIo, WriterQuotesSpecialCharacters) {
+  TaskGraph g;
+  g.addTask("a\"b", 1);
+  const std::string dot = toDotString(g);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+  const TaskGraph back = readDotString(dot);
+  EXPECT_EQ(back.name(0), "a\"b");
+}
+
+TEST(DotIo, FileRoundTrip) {
+  WorkflowGenOptions opts;
+  opts.targetTasks = 25;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Bacass, opts);
+  const std::string path = ::testing::TempDir() + "/cawo_dot_io_test.dot";
+  writeDotFile(path, g);
+  const TaskGraph back = readDotFile(path);
+  EXPECT_EQ(back.numTasks(), g.numTasks());
+  EXPECT_EQ(back.numEdges(), g.numEdges());
+}
+
+TEST(DotIo, MissingFileThrows) {
+  EXPECT_THROW(readDotFile("/nonexistent/definitely/missing.dot"),
+               PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/enhanced_graph.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+Platform twoProcs() {
+  Platform p;
+  p.addProcessor({"p0", 1, 10, 5});
+  p.addProcessor({"p1", 2, 20, 8});
+  return p;
+}
+
+TEST(EnhancedGraph, SameProcessorEdgeStaysPlain) {
+  TaskGraph g;
+  g.addTask("a", 4);
+  g.addTask("b", 4);
+  g.addEdge(0, 1, 100); // data irrelevant when co-located
+  Mapping m(2, 2);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  EXPECT_EQ(gc.numNodes(), 2);
+  EXPECT_EQ(gc.numLinks(), 0);
+  ASSERT_EQ(gc.succs(0).size(), 1u);
+  EXPECT_EQ(gc.succs(0)[0], 1);
+}
+
+TEST(EnhancedGraph, CrossProcessorEdgeSpawnsCommTask) {
+  TaskGraph g;
+  g.addTask("a", 4);
+  g.addTask("b", 4);
+  g.addEdge(0, 1, 7);
+  Mapping m(2, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  ASSERT_EQ(gc.numNodes(), 3);
+  EXPECT_EQ(gc.numLinks(), 1);
+  const TaskId comm = 2;
+  EXPECT_TRUE(gc.isCommTask(comm));
+  EXPECT_EQ(gc.len(comm), 7); // comm length = data at unit bandwidth
+  EXPECT_EQ(gc.node(comm).commSrc, 0);
+  EXPECT_EQ(gc.node(comm).commDst, 1);
+  // Dependencies a → comm → b.
+  ASSERT_EQ(gc.succs(0).size(), 1u);
+  EXPECT_EQ(gc.succs(0)[0], comm);
+  ASSERT_EQ(gc.succs(comm).size(), 1u);
+  EXPECT_EQ(gc.succs(comm)[0], 1);
+  // The link processor is beyond the real ones.
+  EXPECT_GE(gc.procOf(comm), gc.numRealProcs());
+}
+
+TEST(EnhancedGraph, ZeroDataCrossEdgeDegeneratesToPrecedence) {
+  TaskGraph g;
+  g.addTask("a", 4);
+  g.addTask("b", 4);
+  g.addEdge(0, 1, 0);
+  Mapping m(2, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  EXPECT_EQ(gc.numNodes(), 2);
+  EXPECT_EQ(gc.numLinks(), 0);
+  ASSERT_EQ(gc.succs(0).size(), 1u);
+  EXPECT_EQ(gc.succs(0)[0], 1);
+}
+
+TEST(EnhancedGraph, ExecTimeUsesProcessorSpeed) {
+  TaskGraph g;
+  g.addTask("a", 9);
+  Mapping m(1, 2);
+  m.assign(0, 1); // speed 2 → ceil(9/2) = 5
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  EXPECT_EQ(gc.len(0), 5);
+}
+
+TEST(EnhancedGraph, MappingOrderBecomesChainEdges) {
+  TaskGraph g;
+  g.addTask("a", 2);
+  g.addTask("b", 2);
+  g.addTask("c", 2);
+  // No DAG edges at all; the mapping orders all three on processor 0.
+  Mapping m(3, 2);
+  m.assign(1, 0);
+  m.assign(0, 0);
+  m.assign(2, 0);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  // Chain 1 → 0 → 2 from the mapping order.
+  ASSERT_EQ(gc.succs(1).size(), 1u);
+  EXPECT_EQ(gc.succs(1)[0], 0);
+  ASSERT_EQ(gc.succs(0).size(), 1u);
+  EXPECT_EQ(gc.succs(0)[0], 2);
+  const auto order = gc.procOrder(0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(EnhancedGraph, CommunicationsOnOneLinkAreChained) {
+  // Two independent cross edges between the same processor pair must be
+  // sequentialised on the link (the set E'' of the paper).
+  TaskGraph g;
+  g.addTask("a1", 2);
+  g.addTask("a2", 2);
+  g.addTask("b1", 2);
+  g.addTask("b2", 2);
+  g.addEdge(0, 2, 3);
+  g.addEdge(1, 3, 4);
+  Mapping m(4, 2);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 1);
+  m.assign(3, 1);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  ASSERT_EQ(gc.numNodes(), 6);
+  EXPECT_EQ(gc.numLinks(), 1);
+  const ProcId link = gc.numRealProcs();
+  const auto order = gc.procOrder(link);
+  ASSERT_EQ(order.size(), 2u);
+  // Comm of the earlier-positioned source (task 0) goes first.
+  EXPECT_EQ(gc.node(order[0]).commSrc, 0);
+  EXPECT_EQ(gc.node(order[1]).commSrc, 1);
+  // There is a chain edge between them.
+  const auto succs = gc.succs(order[0]);
+  EXPECT_TRUE(std::find(succs.begin(), succs.end(), order[1]) != succs.end());
+}
+
+TEST(EnhancedGraph, CommPriorityOverridesLinkOrder) {
+  TaskGraph g;
+  g.addTask("a1", 2);
+  g.addTask("a2", 2);
+  g.addTask("b1", 2);
+  g.addTask("b2", 2);
+  g.addEdge(0, 2, 3);
+  g.addEdge(1, 3, 4);
+  Mapping m(4, 2);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 1);
+  m.assign(3, 1);
+  // Give the second source a *smaller* priority → its comm goes first.
+  const std::vector<Time> priority{100, 1, 0, 0};
+  const EnhancedGraph gc =
+      EnhancedGraph::build(g, twoProcs(), m, {}, &priority);
+  const auto order = gc.procOrder(gc.numRealProcs());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(gc.node(order[0]).commSrc, 1);
+}
+
+TEST(EnhancedGraph, OppositeDirectionsUseDistinctLinks) {
+  // Full-duplex: p0→p1 and p1→p0 are different fictional processors.
+  TaskGraph g;
+  g.addTask("a", 2);
+  g.addTask("b", 2);
+  g.addTask("c", 2);
+  g.addEdge(0, 1, 3); // p0 → p1
+  g.addEdge(1, 2, 3); // p1 → p0
+  Mapping m(3, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  m.assign(2, 0);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  EXPECT_EQ(gc.numLinks(), 2);
+}
+
+TEST(EnhancedGraph, LinkPowersAreWithinTheConfiguredRange) {
+  TaskGraph g;
+  g.addTask("a", 2);
+  g.addTask("b", 2);
+  g.addEdge(0, 1, 3);
+  Mapping m(2, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  LinkPowerOptions lp;
+  lp.minIdle = 1;
+  lp.maxIdle = 2;
+  lp.minWork = 1;
+  lp.maxWork = 2;
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m, lp);
+  const ProcId link = gc.numRealProcs();
+  EXPECT_GE(gc.idlePower(link), 1);
+  EXPECT_LE(gc.idlePower(link), 2);
+  EXPECT_GE(gc.workPower(link), 1);
+  EXPECT_LE(gc.workPower(link), 2);
+}
+
+TEST(EnhancedGraph, TotalIdleIncludesLinks) {
+  TaskGraph g;
+  g.addTask("a", 2);
+  g.addTask("b", 2);
+  g.addEdge(0, 1, 3);
+  Mapping m(2, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  const Power link = gc.idlePower(gc.numRealProcs());
+  EXPECT_EQ(gc.totalIdlePower(), 10 + 20 + link);
+}
+
+TEST(EnhancedGraph, TopoOrderIsConsistent) {
+  TaskGraph g;
+  g.addTask("a", 2);
+  g.addTask("b", 2);
+  g.addTask("c", 2);
+  g.addEdge(0, 1, 3);
+  g.addEdge(0, 2, 3);
+  Mapping m(3, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  m.assign(2, 1);
+  const EnhancedGraph gc = EnhancedGraph::build(g, twoProcs(), m);
+  const auto& topo = gc.topoOrder();
+  std::vector<std::size_t> pos(static_cast<std::size_t>(gc.numNodes()));
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    pos[static_cast<std::size_t>(topo[i])] = i;
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    for (TaskId s : gc.succs(u))
+      EXPECT_LT(pos[static_cast<std::size_t>(u)],
+                pos[static_cast<std::size_t>(s)]);
+}
+
+TEST(EnhancedGraph, CriticalPathOfChainIsTotalLength) {
+  const EnhancedGraph gc = testing::makeChainGc({3, 4, 5});
+  EXPECT_EQ(gc.criticalPathLength(), 12);
+  EXPECT_EQ(gc.totalLength(), 12);
+}
+
+TEST(EnhancedGraph, FromPartsAddsMissingChainEdges) {
+  const EnhancedGraph gc = testing::makeChainGc({2, 2});
+  ASSERT_EQ(gc.succs(0).size(), 1u);
+  EXPECT_EQ(gc.succs(0)[0], 1);
+}
+
+TEST(EnhancedGraph, FromPartsRejectsInconsistentOrders) {
+  std::vector<EnhancedGraph::Node> nodes(2);
+  nodes[0].proc = 0;
+  nodes[0].len = 1;
+  nodes[1].proc = 0;
+  nodes[1].len = 1;
+  // Node 1 missing from the order.
+  EXPECT_THROW(EnhancedGraph::fromParts(nodes, {}, {1}, {1}, {{0}}),
+               PreconditionError);
+  // Node listed on the wrong processor.
+  nodes[1].proc = 1;
+  EXPECT_THROW(EnhancedGraph::fromParts(nodes, {}, {1, 1}, {1, 1}, {{0, 1}, {}}),
+               PreconditionError);
+}
+
+TEST(EnhancedGraph, FromPartsRejectsCycles) {
+  std::vector<EnhancedGraph::Node> nodes(2);
+  nodes[0].proc = 0;
+  nodes[0].len = 1;
+  nodes[1].proc = 1;
+  nodes[1].len = 1;
+  EXPECT_THROW(EnhancedGraph::fromParts(nodes, {{0, 1}, {1, 0}}, {1, 1},
+                                        {1, 1}, {{0}, {1}}),
+               PreconditionError);
+}
+
+TEST(EnhancedGraph, BuildRejectsInvalidMapping) {
+  TaskGraph g;
+  g.addTask("a", 1);
+  g.addTask("b", 1);
+  g.addEdge(0, 1, 1);
+  Mapping m(2, 2);
+  m.assign(1, 0); // order conflicts with the precedence a → b
+  m.assign(0, 0);
+  EXPECT_THROW(EnhancedGraph::build(g, twoProcs(), m), PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

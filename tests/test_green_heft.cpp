@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "core/cawosched.hpp"
+#include "heft/green_heft.hpp"
+#include "profile/scenario.hpp"
+#include "workflow/generators.hpp"
+
+namespace cawo {
+namespace {
+
+Platform smallCluster() { return Platform::scaled(1); }
+
+TEST(GreenHeft, AlphaOneReproducesPlainHeft) {
+  WorkflowGenOptions opts;
+  opts.targetTasks = 60;
+  opts.seed = 4;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Atacseq, opts);
+  const Platform pf = smallCluster();
+  const PowerProfile profile = PowerProfile::uniform(100000, 1000);
+
+  const HeftResult plain = runHeft(g, pf);
+  GreenHeftOptions gh;
+  gh.alpha = 1.0;
+  const HeftResult green = runGreenHeft(g, pf, profile, gh);
+  for (TaskId v = 0; v < g.numTasks(); ++v)
+    EXPECT_EQ(green.mapping.procOf(v), plain.mapping.procOf(v)) << v;
+  EXPECT_EQ(green.makespan, plain.makespan);
+}
+
+TEST(GreenHeft, ProducesAValidMapping) {
+  WorkflowGenOptions opts;
+  opts.targetTasks = 80;
+  opts.seed = 6;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Eager, opts);
+  const Platform pf = smallCluster();
+  const PowerProfile profile = generateScenario(
+      Scenario::S1, 50000, pf.totalIdlePower(), pf.totalWorkPower(),
+      {16, 0.1, 3});
+  for (const double alpha : {0.0, 0.3, 0.5, 0.8}) {
+    GreenHeftOptions gh;
+    gh.alpha = alpha;
+    const HeftResult res = runGreenHeft(g, pf, profile, gh);
+    EXPECT_TRUE(res.mapping.validate(g).empty()) << "alpha=" << alpha;
+    // Finish times respect precedence + communication.
+    for (const auto& e : g.edges()) {
+      const Time comm =
+          res.mapping.procOf(e.src) == res.mapping.procOf(e.dst) ? 0 : e.data;
+      EXPECT_GE(res.startTimes[static_cast<std::size_t>(e.dst)],
+                res.finishTimes[static_cast<std::size_t>(e.src)] + comm);
+    }
+  }
+}
+
+TEST(GreenHeft, RejectsAlphaOutsideUnitInterval) {
+  TaskGraph g;
+  g.addTask("t", 5);
+  const PowerProfile p = PowerProfile::uniform(10, 5);
+  GreenHeftOptions gh;
+  gh.alpha = 1.5;
+  EXPECT_THROW(runGreenHeft(g, smallCluster(), p, gh), PreconditionError);
+}
+
+TEST(GreenHeft, BrownEstimateIntegratesHeadroom) {
+  PowerProfile p;
+  p.appendInterval(10, 20); // headroom over idle 15 → 5
+  p.appendInterval(10, 15); // headroom 0
+  // workPower 8: first interval over = 3, second = 8.
+  EXPECT_EQ(estimateBrownEnergy(p, 15, 8, 5, 10), 3 * 5 + 8 * 5);
+  // Window entirely inside the generous interval.
+  EXPECT_EQ(estimateBrownEnergy(p, 15, 4, 0, 10), 0);
+  // Beyond the horizon everything is brown.
+  EXPECT_EQ(estimateBrownEnergy(p, 15, 8, 15, 10), 8 * 5 + 8 * 5);
+}
+
+TEST(GreenHeft, CarbonBiasPrefersGreenAlignedProcessor) {
+  // Two processors, equal speed; proc 1 draws far more work power. With a
+  // tight green budget the carbon-aware pass must prefer proc 0 even
+  // though plain HEFT (ties by EFT) could use either.
+  TaskGraph g;
+  g.addTask("t0", 8);
+  g.addTask("t1", 8);
+  Platform pf;
+  pf.addProcessor({"frugal", 2, 5, 2});
+  pf.addProcessor({"hungry", 2, 5, 50});
+  const PowerProfile profile = PowerProfile::uniform(1000, 12);
+
+  GreenHeftOptions gh;
+  gh.alpha = 0.2; // mostly carbon-driven
+  const HeftResult res = runGreenHeft(g, pf, profile, gh);
+  EXPECT_EQ(res.mapping.procOf(0), 0);
+  EXPECT_EQ(res.mapping.procOf(1), 0);
+}
+
+TEST(GreenHeft, TwoPassPipelineNeverBreaksScheduling) {
+  // Section 7 of the paper: pass 1 = carbon-aware mapping, pass 2 =
+  // CaWoSched. The produced schedules must stay feasible.
+  WorkflowGenOptions opts;
+  opts.targetTasks = 50;
+  opts.seed = 11;
+  const TaskGraph g = generateWorkflow(WorkflowFamily::Methylseq, opts);
+  const Platform pf = smallCluster();
+  const PowerProfile mapProfile = generateScenario(
+      Scenario::S1, 60000, pf.totalIdlePower(), pf.totalWorkPower(),
+      {16, 0.1, 9});
+  GreenHeftOptions gh;
+  gh.alpha = 0.5;
+  const HeftResult mapped = runGreenHeft(g, pf, mapProfile, gh);
+  const EnhancedGraph gc =
+      EnhancedGraph::build(g, pf, mapped.mapping, {}, &mapped.startTimes);
+  const Time deadline = 2 * asapMakespan(gc);
+  Power sumWork = 0;
+  for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
+  const PowerProfile profile = generateScenario(
+      Scenario::S1, deadline, gc.totalIdlePower(), sumWork, {16, 0.1, 9});
+  const Schedule s = runVariant(gc, profile, deadline,
+                                VariantSpec::parse("pressWR-LS"));
+  const auto valid = validateSchedule(gc, s, deadline);
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+} // namespace
+} // namespace cawo

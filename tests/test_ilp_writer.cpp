@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include <sstream>
+
+#include "exact/ilp_writer.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+using testing::makeChainGc;
+
+std::size_t countOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(IlpWriter, EmitsAllSections) {
+  const EnhancedGraph gc = makeChainGc({2, 3});
+  const PowerProfile p = PowerProfile::uniform(8, 5);
+  std::ostringstream os;
+  writeIlp(os, gc, p, 8);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("Generals"), std::string::npos);
+  EXPECT_NE(text.find("Binaries"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(IlpWriter, ObjectiveSumsBrownPowerOverTheHorizon) {
+  const EnhancedGraph gc = makeChainGc({2});
+  const PowerProfile p = PowerProfile::uniform(5, 3);
+  std::ostringstream os;
+  writeIlp(os, gc, p, 5);
+  const std::string text = os.str();
+  for (Time t = 0; t < 5; ++t)
+    EXPECT_NE(text.find("bu_" + std::to_string(t)), std::string::npos);
+}
+
+TEST(IlpWriter, VariableCountMatchesFormula) {
+  const EnhancedGraph gc = makeChainGc({2, 3});
+  const Time T = 9;
+  const PowerProfile p = PowerProfile::uniform(T, 5);
+  std::ostringstream os;
+  const IlpStats stats = writeIlp(os, gc, p, T);
+  const std::size_t N = 2;
+  // 3 indicators per (node, t), plus gu/bu/gamma/alpha per t.
+  EXPECT_EQ(stats.numBinaries, (3 * N + 1) * static_cast<std::size_t>(T));
+  EXPECT_EQ(stats.numVariables,
+            stats.numBinaries + 3 * static_cast<std::size_t>(T));
+}
+
+TEST(IlpWriter, StartOnceConstraintPerTask) {
+  const EnhancedGraph gc = makeChainGc({2, 3, 1});
+  const PowerProfile p = PowerProfile::uniform(10, 4);
+  std::ostringstream os;
+  writeIlp(os, gc, p, 10);
+  const std::string text = os.str();
+  // Each task contributes one "= 1" start constraint and one end
+  // constraint; spot-check the start variable of the first time step.
+  EXPECT_GE(countOccurrences(text, " = 1"), 6u);
+  EXPECT_NE(text.find("s_0_0"), std::string::npos);
+  EXPECT_NE(text.find("r_2_0"), std::string::npos);
+}
+
+TEST(IlpWriter, PrecedenceRowsReferenceEndVariables) {
+  const EnhancedGraph gc = makeChainGc({2, 2});
+  const PowerProfile p = PowerProfile::uniform(8, 4);
+  std::ostringstream os;
+  writeIlp(os, gc, p, 8);
+  const std::string text = os.str();
+  // s_1_t <= sum_{l<t} e_0_l: for t = 3 the row subtracts e_0_0..e_0_2.
+  EXPECT_NE(text.find("s_1_3 - e_0_0 - e_0_1 - e_0_2 <= 0"),
+            std::string::npos);
+}
+
+TEST(IlpWriter, GreenBoundsFollowTheProfile) {
+  const EnhancedGraph gc = makeChainGc({1});
+  PowerProfile p;
+  p.appendInterval(2, 7);
+  p.appendInterval(2, 3);
+  std::ostringstream os;
+  writeIlp(os, gc, p, 4);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0 <= gu_0 <= 7"), std::string::npos);
+  EXPECT_NE(text.find("0 <= gu_2 <= 3"), std::string::npos);
+}
+
+TEST(IlpWriter, FileOutputWorks) {
+  const EnhancedGraph gc = makeChainGc({2});
+  const PowerProfile p = PowerProfile::uniform(5, 2);
+  const std::string path = ::testing::TempDir() + "/cawo_test_model.lp";
+  const IlpStats stats = writeIlpFile(path, gc, p, 5);
+  EXPECT_GT(stats.numConstraints, 0u);
+  EXPECT_THROW(writeIlpFile("/nonexistent/dir/m.lp", gc, p, 5),
+               PreconditionError);
+}
+
+TEST(IlpWriter, RejectsBadArguments) {
+  const EnhancedGraph gc = makeChainGc({2});
+  const PowerProfile p = PowerProfile::uniform(5, 2);
+  std::ostringstream os;
+  EXPECT_THROW(writeIlp(os, gc, p, 0), PreconditionError);
+  EXPECT_THROW(writeIlp(os, gc, p, 9), PreconditionError); // beyond horizon
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,142 @@
+// Cross-module integration tests: the full paper pipeline at small scale,
+// including the suite runner and the statistics used by the figures.
+
+#include <gtest/gtest.h>
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "sim/instance.hpp"
+#include "sim/runner.hpp"
+#include "sim/stats.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(Integration, InstanceBuildIsFullyDeterministic) {
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Methylseq;
+  spec.targetTasks = 80;
+  spec.nodesPerType = 1;
+  spec.scenario = Scenario::S3;
+  spec.deadlineFactor = 1.5;
+  spec.seed = 123;
+  const Instance a = buildInstance(spec);
+  const Instance b = buildInstance(spec);
+  EXPECT_EQ(a.deadline, b.deadline);
+  EXPECT_EQ(a.gc.numNodes(), b.gc.numNodes());
+  EXPECT_EQ(a.asapMakespanD, b.asapMakespanD);
+  ASSERT_EQ(a.profile.numIntervals(), b.profile.numIntervals());
+  for (std::size_t j = 0; j < a.profile.numIntervals(); ++j)
+    EXPECT_EQ(a.profile.interval(j).green, b.profile.interval(j).green);
+  const InstanceResult ra = runAllOnInstance(a);
+  const InstanceResult rb = runAllOnInstance(b);
+  for (std::size_t i = 0; i < ra.runs.size(); ++i)
+    EXPECT_EQ(ra.runs[i].cost, rb.runs[i].cost) << ra.runs[i].algorithm;
+}
+
+TEST(Integration, DeadlineEqualsFactorTimesAsapMakespan) {
+  InstanceSpec spec;
+  spec.targetTasks = 50;
+  spec.nodesPerType = 1;
+  spec.deadlineFactor = 3.0;
+  spec.seed = 5;
+  const Instance inst = buildInstance(spec);
+  EXPECT_EQ(inst.deadline, 3 * inst.asapMakespanD);
+  EXPECT_EQ(inst.profile.horizon(), inst.deadline);
+}
+
+TEST(Integration, TightDeadlineStillYieldsValidSchedules) {
+  InstanceSpec spec;
+  spec.targetTasks = 60;
+  spec.nodesPerType = 1;
+  spec.deadlineFactor = 1.0; // D itself — zero slack on the critical path
+  spec.seed = 9;
+  const Instance inst = buildInstance(spec);
+  const InstanceResult result = runAllOnInstance(inst);
+  // The runner validates every schedule internally; reaching here with 17
+  // results is the assertion.
+  EXPECT_EQ(result.runs.size(), 17u);
+}
+
+TEST(Integration, RunSuiteMatchesSequentialExecution) {
+  std::vector<InstanceSpec> specs;
+  for (const auto scenario : {Scenario::S1, Scenario::S2}) {
+    InstanceSpec spec;
+    spec.targetTasks = 40;
+    spec.nodesPerType = 1;
+    spec.scenario = scenario;
+    spec.deadlineFactor = 2.0;
+    spec.seed = 31;
+    specs.push_back(spec);
+  }
+  const auto parallel = runSuite(specs, {}, 2);
+  const auto serial = runSuite(specs, {}, 1);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i)
+    for (std::size_t a = 0; a < parallel[i].runs.size(); ++a)
+      EXPECT_EQ(parallel[i].runs[a].cost, serial[i].runs[a].cost);
+}
+
+TEST(Integration, FullGridHasSixteenProfiles) {
+  const auto specs = fullGrid(WorkflowFamily::Atacseq, 50, 1, 7);
+  EXPECT_EQ(specs.size(), 16u); // 4 scenarios × 4 deadline factors
+}
+
+TEST(Integration, StatsPipelineRunsOnSuiteResults) {
+  const auto specs = fullGrid(WorkflowFamily::Bacass, 30, 1, 13);
+  const auto results = runSuite(specs);
+  const CostMatrix m = toCostMatrix(results);
+  EXPECT_EQ(m.numInstances(), 16u);
+  EXPECT_EQ(m.numAlgorithms(), 17u);
+
+  const auto ranks = rankDistribution(m);
+  int totalFirstPlaces = 0;
+  for (const auto& row : ranks) totalFirstPlaces += row[0];
+  EXPECT_GE(totalFirstPlaces, 16); // at least one winner per instance
+
+  const auto profile = performanceProfile(m, {0.0, 0.5, 1.0});
+  for (std::size_t a = 0; a < m.numAlgorithms(); ++a) {
+    EXPECT_DOUBLE_EQ(profile[a][0], 1.0);
+    EXPECT_LE(profile[a][2], 1.0);
+  }
+}
+
+TEST(Integration, CarbonAwareVariantsHelpOnLateGreenProfiles) {
+  // Shape check behind Figures 4/15: with green power arriving late (S3 has
+  // its bump after the start; S1 mid-horizon) and a generous deadline, the
+  // best CaWoSched variant should beat ASAP on most instances.
+  std::vector<InstanceSpec> specs;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    InstanceSpec spec;
+    spec.family = WorkflowFamily::Atacseq;
+    spec.targetTasks = 60;
+    spec.nodesPerType = 1;
+    spec.scenario = Scenario::S1;
+    spec.deadlineFactor = 3.0;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  const auto results = runSuite(specs);
+  int wins = 0;
+  for (const auto& r : results) {
+    const Cost asap = r.runs[0].cost;
+    Cost best = asap;
+    for (std::size_t a = 1; a < r.runs.size(); ++a)
+      best = std::min(best, r.runs[a].cost);
+    if (best < asap || asap == 0) ++wins;
+  }
+  EXPECT_GE(wins, 2) << "carbon-aware variants should usually beat ASAP";
+}
+
+TEST(Integration, LabelIsHumanReadable) {
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Eager;
+  spec.targetTasks = 123;
+  spec.nodesPerType = 2;
+  spec.scenario = Scenario::S2;
+  spec.deadlineFactor = 1.5;
+  EXPECT_EQ(spec.label(), "eager-123/c2/S2/d1.5");
+}
+
+} // namespace
+} // namespace cawo

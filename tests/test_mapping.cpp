@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/mapping.hpp"
+
+namespace cawo {
+namespace {
+
+TaskGraph chain3() {
+  TaskGraph g;
+  g.addTask("a", 1);
+  g.addTask("b", 1);
+  g.addTask("c", 1);
+  g.addEdge(0, 1, 1);
+  g.addEdge(1, 2, 1);
+  return g;
+}
+
+TEST(Mapping, AssignTracksProcessorAndPosition) {
+  Mapping m(3, 2);
+  m.assign(0, 0);
+  m.assign(1, 1);
+  m.assign(2, 0);
+  EXPECT_EQ(m.procOf(0), 0);
+  EXPECT_EQ(m.procOf(1), 1);
+  EXPECT_EQ(m.procOf(2), 0);
+  EXPECT_EQ(m.positionOf(0), 0u);
+  EXPECT_EQ(m.positionOf(2), 1u);
+  ASSERT_EQ(m.orderOn(0).size(), 2u);
+  EXPECT_EQ(m.orderOn(0)[0], 0);
+  EXPECT_EQ(m.orderOn(0)[1], 2);
+}
+
+TEST(Mapping, DoubleAssignIsRejected) {
+  Mapping m(1, 1);
+  m.assign(0, 0);
+  EXPECT_THROW(m.assign(0, 0), PreconditionError);
+}
+
+TEST(Mapping, UnassignedTaskIsReported) {
+  Mapping m(2, 1);
+  m.assign(0, 0);
+  EXPECT_TRUE(m.isAssigned(0));
+  EXPECT_FALSE(m.isAssigned(1));
+  EXPECT_THROW(m.positionOf(1), PreconditionError);
+}
+
+TEST(Mapping, SetOrderPermutesProcessorTasks) {
+  Mapping m(3, 1);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 0);
+  m.setOrder(0, {2, 0, 1});
+  EXPECT_EQ(m.orderOn(0)[0], 2);
+  EXPECT_EQ(m.positionOf(2), 0u);
+  EXPECT_EQ(m.positionOf(1), 2u);
+}
+
+TEST(Mapping, SetOrderRejectsNonPermutations) {
+  Mapping m(3, 2);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 1);
+  EXPECT_THROW(m.setOrder(0, {0}), PreconditionError);        // wrong size
+  EXPECT_THROW(m.setOrder(0, {0, 2}), PreconditionError);     // wrong tasks
+  EXPECT_THROW(m.setOrder(0, {0, 0}), PreconditionError);     // duplicate
+}
+
+TEST(Mapping, ValidateAcceptsConsistentOrder) {
+  const TaskGraph g = chain3();
+  Mapping m(3, 1);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 0);
+  EXPECT_TRUE(m.validate(g).empty());
+}
+
+TEST(Mapping, ValidateRejectsOrderAgainstPrecedence) {
+  const TaskGraph g = chain3();
+  Mapping m(3, 1);
+  m.assign(1, 0); // b before a on the same processor → cycle with a→b
+  m.assign(0, 0);
+  m.assign(2, 0);
+  EXPECT_FALSE(m.validate(g).empty());
+}
+
+TEST(Mapping, ValidateRejectsUnassignedTasks) {
+  const TaskGraph g = chain3();
+  Mapping m(3, 1);
+  m.assign(0, 0);
+  EXPECT_FALSE(m.validate(g).empty());
+}
+
+TEST(Mapping, ValidateAcceptsCrossProcessorOrders) {
+  const TaskGraph g = chain3();
+  Mapping m(3, 3);
+  m.assign(2, 0); // different processors — order between procs is free
+  m.assign(1, 1);
+  m.assign(0, 2);
+  EXPECT_TRUE(m.validate(g).empty());
+}
+
+TEST(Mapping, SizeMismatchIsReported) {
+  const TaskGraph g = chain3();
+  Mapping m(2, 1);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  EXPECT_FALSE(m.validate(g).empty());
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/platform.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(Platform, PaperTypesMatchTable1) {
+  const auto& types = Platform::paperTypes();
+  ASSERT_EQ(types.size(), 6u);
+  // Table 1: name, speed, P_idle, P_work.
+  const std::int64_t speeds[] = {4, 6, 8, 12, 16, 32};
+  const Power idles[] = {40, 60, 80, 120, 150, 200};
+  const Power works[] = {10, 30, 40, 50, 70, 100};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(types[i].speed, speeds[i]) << types[i].type;
+    EXPECT_EQ(types[i].idlePower, idles[i]) << types[i].type;
+    EXPECT_EQ(types[i].workPower, works[i]) << types[i].type;
+  }
+}
+
+TEST(Platform, PaperClustersHaveTheRightSizes) {
+  EXPECT_EQ(Platform::paperSmall().numProcessors(), 72);
+  EXPECT_EQ(Platform::paperLarge().numProcessors(), 144);
+}
+
+TEST(Platform, ScaledBuildsNodesPerType) {
+  const Platform p = Platform::scaled(3);
+  EXPECT_EQ(p.numProcessors(), 18);
+  // Processors come in type blocks.
+  EXPECT_EQ(p.proc(0).speed, 4);
+  EXPECT_EQ(p.proc(3).speed, 6);
+  EXPECT_EQ(p.proc(17).speed, 32);
+}
+
+TEST(Platform, ExecTimeIsCeilOfWorkOverSpeed) {
+  Platform p;
+  p.addProcessor({"x", 4, 1, 1});
+  EXPECT_EQ(p.execTime(8, 0), 2);
+  EXPECT_EQ(p.execTime(9, 0), 3);
+  EXPECT_EQ(p.execTime(1, 0), 1);
+  EXPECT_EQ(p.execTime(0, 0), 0);
+}
+
+TEST(Platform, PowerTotals) {
+  Platform p;
+  p.addProcessor({"a", 1, 10, 5});
+  p.addProcessor({"b", 2, 20, 7});
+  EXPECT_EQ(p.totalIdlePower(), 30);
+  EXPECT_EQ(p.totalWorkPower(), 12);
+  EXPECT_EQ(p.maxCombinedPower(), 27);
+}
+
+TEST(Platform, UniformClusterIsHomogeneous) {
+  const Platform p = Platform::uniform(5, 2, 0, 1);
+  EXPECT_EQ(p.numProcessors(), 5);
+  for (ProcId i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.proc(i).speed, 2);
+    EXPECT_EQ(p.proc(i).idlePower, 0);
+    EXPECT_EQ(p.proc(i).workPower, 1);
+  }
+}
+
+TEST(Platform, RejectsInvalidSpecs) {
+  Platform p;
+  EXPECT_THROW(p.addProcessor({"bad", 0, 1, 1}), PreconditionError);
+  EXPECT_THROW(p.addProcessor({"bad", 1, -1, 1}), PreconditionError);
+  EXPECT_THROW(Platform::scaled(0), PreconditionError);
+  EXPECT_THROW(p.proc(0), PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/power_profile.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(PowerProfile, AppendBuildsContiguousIntervals) {
+  PowerProfile p;
+  p.appendInterval(10, 5);
+  p.appendInterval(20, 7);
+  EXPECT_EQ(p.horizon(), 30);
+  EXPECT_EQ(p.numIntervals(), 2u);
+  EXPECT_EQ(p.interval(0).begin, 0);
+  EXPECT_EQ(p.interval(0).end, 10);
+  EXPECT_EQ(p.interval(1).begin, 10);
+  EXPECT_EQ(p.interval(1).end, 30);
+}
+
+TEST(PowerProfile, UniformCoversHorizon) {
+  const PowerProfile p = PowerProfile::uniform(100, 42);
+  EXPECT_EQ(p.horizon(), 100);
+  EXPECT_EQ(p.numIntervals(), 1u);
+  EXPECT_EQ(p.greenAt(0), 42);
+  EXPECT_EQ(p.greenAt(99), 42);
+}
+
+TEST(PowerProfile, FromIntervalsValidatesContiguity) {
+  EXPECT_NO_THROW(PowerProfile::fromIntervals({{0, 5, 1}, {5, 9, 2}}));
+  EXPECT_THROW(PowerProfile::fromIntervals({{1, 5, 1}}), PreconditionError);
+  EXPECT_THROW(PowerProfile::fromIntervals({{0, 5, 1}, {6, 9, 2}}),
+               PreconditionError);
+  EXPECT_THROW(PowerProfile::fromIntervals({{0, 0, 1}}), PreconditionError);
+  EXPECT_THROW(PowerProfile::fromIntervals({{0, 5, -1}}), PreconditionError);
+}
+
+TEST(PowerProfile, IndexAtFindsTheRightInterval) {
+  PowerProfile p;
+  p.appendInterval(10, 1);
+  p.appendInterval(5, 2);
+  p.appendInterval(15, 3);
+  EXPECT_EQ(p.indexAt(0), 0u);
+  EXPECT_EQ(p.indexAt(9), 0u);
+  EXPECT_EQ(p.indexAt(10), 1u);
+  EXPECT_EQ(p.indexAt(14), 1u);
+  EXPECT_EQ(p.indexAt(15), 2u);
+  EXPECT_EQ(p.indexAt(29), 2u);
+  EXPECT_THROW(p.indexAt(30), PreconditionError);
+  EXPECT_THROW(p.indexAt(-1), PreconditionError);
+}
+
+TEST(PowerProfile, BoundariesAreTheSetE) {
+  PowerProfile p;
+  p.appendInterval(10, 1);
+  p.appendInterval(5, 2);
+  const std::vector<Time> expected{0, 10, 15};
+  EXPECT_EQ(p.boundaries(), expected);
+}
+
+TEST(PowerProfile, ExtendToAppendsOnlyWhenNeeded) {
+  PowerProfile p = PowerProfile::uniform(10, 3);
+  p.extendTo(25, 0);
+  EXPECT_EQ(p.horizon(), 25);
+  EXPECT_EQ(p.numIntervals(), 2u);
+  EXPECT_EQ(p.greenAt(20), 0);
+  p.extendTo(20, 9); // no-op
+  EXPECT_EQ(p.horizon(), 25);
+  EXPECT_EQ(p.numIntervals(), 2u);
+}
+
+TEST(PowerProfile, IdleFloorCostSumsOverflowOnly) {
+  PowerProfile p;
+  p.appendInterval(10, 5); // base 8 → overflow 3 for 10 units = 30
+  p.appendInterval(10, 20); // no overflow
+  EXPECT_EQ(p.idleFloorCost(8), 30);
+  EXPECT_EQ(p.idleFloorCost(5), 0);
+  EXPECT_EQ(p.idleFloorCost(25), 20 * 10 + 5 * 10);
+}
+
+TEST(PowerProfile, RejectsBadIntervals) {
+  PowerProfile p;
+  EXPECT_THROW(p.appendInterval(0, 1), PreconditionError);
+  EXPECT_THROW(p.appendInterval(5, -1), PreconditionError);
+  EXPECT_THROW(PowerProfile::uniform(0, 1), PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

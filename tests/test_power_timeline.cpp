@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/carbon_cost.hpp"
+#include "core/power_timeline.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+using testing::randomProfile;
+
+TEST(PowerTimeline, InitialCostIsIdleFloor) {
+  PowerProfile p;
+  p.appendInterval(10, 3);
+  p.appendInterval(10, 8);
+  const PowerTimeline t(p, /*base=*/5);
+  EXPECT_EQ(t.totalCost(), p.idleFloorCost(5));
+  EXPECT_EQ(t.totalCost(), 2 * 10);
+}
+
+TEST(PowerTimeline, AddLoadRaisesCost) {
+  const PowerProfile p = PowerProfile::uniform(10, 4);
+  PowerTimeline t(p, 2);
+  EXPECT_EQ(t.totalCost(), 0);
+  t.addLoad(2, 6, 5); // draw 7 > 4 → overflow 3 for 4 units
+  EXPECT_EQ(t.totalCost(), 12);
+  t.removeLoad(2, 6, 5);
+  EXPECT_EQ(t.totalCost(), 0);
+}
+
+TEST(PowerTimeline, OverlappingLoadsStack) {
+  const PowerProfile p = PowerProfile::uniform(10, 10);
+  PowerTimeline t(p, 0);
+  t.addLoad(0, 10, 6);
+  EXPECT_EQ(t.totalCost(), 0);
+  t.addLoad(5, 10, 6); // 12 > 10 → 2 for 5 units
+  EXPECT_EQ(t.totalCost(), 10);
+  t.addLoad(7, 9, 6); // 18 > 10 → extra 6 × 2 units
+  EXPECT_EQ(t.totalCost(), 10 + 12);
+}
+
+TEST(PowerTimeline, LoadAcrossIntervalBoundary) {
+  PowerProfile p;
+  p.appendInterval(5, 10);
+  p.appendInterval(5, 1);
+  PowerTimeline t(p, 1);
+  EXPECT_EQ(t.totalCost(), 0);
+  t.addLoad(3, 8, 4); // draw 5: 0 in the first interval, 4×3 in the second
+  EXPECT_EQ(t.totalCost(), 12);
+}
+
+TEST(PowerTimeline, CostInRangeSlicesSegments) {
+  const PowerProfile p = PowerProfile::uniform(10, 0);
+  PowerTimeline t(p, 2); // constant overflow 2
+  EXPECT_EQ(t.costInRange(0, 10), 20);
+  EXPECT_EQ(t.costInRange(3, 7), 8);
+  EXPECT_EQ(t.costInRange(7, 7), 0);
+  t.addLoad(4, 6, 3);
+  EXPECT_EQ(t.costInRange(4, 6), 10);
+  EXPECT_EQ(t.costInRange(0, 4), 8);
+}
+
+TEST(PowerTimeline, MoveDeltaLeavesTimelineUnchanged) {
+  const PowerProfile p = PowerProfile::uniform(20, 5);
+  PowerTimeline t(p, 0);
+  t.addLoad(0, 4, 7);
+  const Cost before = t.totalCost();
+  const Cost delta = t.moveDelta(0, 4, 10, 14, 7);
+  EXPECT_EQ(t.totalCost(), before);
+  EXPECT_EQ(delta, 0); // uniform budget → no gain anywhere
+}
+
+TEST(PowerTimeline, MoveDeltaSeesImprovement) {
+  PowerProfile p;
+  p.appendInterval(10, 0);  // dark
+  p.appendInterval(10, 10); // green
+  PowerTimeline t(p, 0);
+  t.addLoad(0, 5, 4); // cost 20 in the dark interval
+  EXPECT_EQ(t.totalCost(), 20);
+  const Cost delta = t.moveDelta(0, 5, 12, 17, 4);
+  EXPECT_EQ(delta, -20);
+  EXPECT_EQ(t.totalCost(), 20); // unchanged by the probe
+}
+
+TEST(PowerTimeline, RejectsOutOfHorizonLoads) {
+  const PowerProfile p = PowerProfile::uniform(10, 5);
+  PowerTimeline t(p, 0);
+  EXPECT_THROW(t.addLoad(5, 12, 1), PreconditionError);
+  EXPECT_THROW(t.addLoad(-1, 3, 1), PreconditionError);
+}
+
+TEST(PowerTimeline, ZeroWidthOrZeroPowerLoadsAreNoOps) {
+  const PowerProfile p = PowerProfile::uniform(10, 5);
+  PowerTimeline t(p, 0);
+  const auto segsBefore = t.numSegments();
+  t.addLoad(3, 3, 5);
+  t.addLoad(2, 8, 0);
+  EXPECT_EQ(t.totalCost(), 0);
+  EXPECT_EQ(t.numSegments(), segsBefore);
+}
+
+// Property: a timeline loaded with a whole schedule reports exactly the
+// sweep-line evaluator's cost.
+class TimelineVsEvaluator : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineVsEvaluator, TotalsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const int numTasks = static_cast<int>(rng.uniformInt(1, 10));
+  std::vector<std::pair<ProcId, Time>> tasks;
+  for (int i = 0; i < numTasks; ++i)
+    tasks.push_back({static_cast<ProcId>(rng.uniformInt(0, 2)),
+                     rng.uniformInt(1, 6)});
+  std::vector<Power> idle{1, 2, 0}, work{3, 5, 2};
+  const EnhancedGraph gc = testing::makeGc(tasks, {}, idle, work);
+  const Time deadline = gc.criticalPathLength() + 15;
+  const PowerProfile profile = randomProfile(deadline, 5, 0, 12, rng);
+  const Schedule s = testing::randomSchedule(gc, deadline, rng);
+
+  PowerTimeline t(profile, gc.totalIdlePower());
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    t.addLoad(s.start(u), s.end(u, gc), gc.workPower(gc.procOf(u)));
+  EXPECT_EQ(t.totalCost(), evaluateCost(gc, profile, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, TimelineVsEvaluator,
+                         ::testing::Range(0, 30));
+
+} // namespace
+} // namespace cawo

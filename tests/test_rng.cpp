@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniformInt(2, 1), PreconditionError);
+}
+
+TEST(Rng, Uniform01IsInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsCloseToHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, NormalPositiveIntClampsAtMinimum) {
+  Rng rng(19);
+  for (int i = 0; i < 1'000; ++i)
+    EXPECT_GE(rng.normalPositiveInt(0.0, 100.0, 5), 5);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SplitMix64, KnownFirstValueIsStable) {
+  SplitMix64 sm(0);
+  const auto v1 = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(v1, sm2.next());
+  EXPECT_NE(v1, sm.next());
+}
+
+} // namespace
+} // namespace cawo

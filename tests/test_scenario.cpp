@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "profile/scenario.hpp"
+
+namespace cawo {
+namespace {
+
+constexpr Power kIdle = 100;
+constexpr Power kWork = 200;
+constexpr Power kMin = kIdle;                      // Σ idle
+constexpr Power kMax = kIdle + (8 * kWork) / 10;   // Σ idle + 80 % work
+
+class AllScenarios : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllScenarios, BudgetsStayWithinThePaperBand) {
+  const auto scenario = static_cast<Scenario>(GetParam());
+  const PowerProfile p =
+      generateScenario(scenario, 240, kIdle, kWork, {24, 0.1, 3});
+  EXPECT_EQ(p.horizon(), 240);
+  EXPECT_EQ(p.numIntervals(), 24u);
+  for (const Interval& iv : p.intervals()) {
+    EXPECT_GE(iv.green, kMin) << scenarioName(scenario);
+    EXPECT_LE(iv.green, kMax) << scenarioName(scenario);
+  }
+}
+
+TEST_P(AllScenarios, DeterministicForAGivenSeed) {
+  const auto scenario = static_cast<Scenario>(GetParam());
+  const PowerProfile a =
+      generateScenario(scenario, 100, kIdle, kWork, {10, 0.1, 77});
+  const PowerProfile b =
+      generateScenario(scenario, 100, kIdle, kWork, {10, 0.1, 77});
+  ASSERT_EQ(a.numIntervals(), b.numIntervals());
+  for (std::size_t j = 0; j < a.numIntervals(); ++j)
+    EXPECT_EQ(a.interval(j).green, b.interval(j).green);
+}
+
+INSTANTIATE_TEST_SUITE_P(S1toS4, AllScenarios, ::testing::Values(0, 1, 2, 3));
+
+TEST(Scenario, S1PeaksInTheMiddle) {
+  const PowerProfile p =
+      generateScenario(Scenario::S1, 240, kIdle, kWork, {24, 0.0, 1});
+  const Power first = p.interval(0).green;
+  const Power mid = p.interval(12).green;
+  const Power last = p.interval(23).green;
+  EXPECT_GT(mid, first);
+  EXPECT_GT(mid, last);
+}
+
+TEST(Scenario, S2DecreasesFromTheStart) {
+  const PowerProfile p =
+      generateScenario(Scenario::S2, 240, kIdle, kWork, {24, 0.0, 1});
+  EXPECT_GT(p.interval(0).green, p.interval(12).green);
+  EXPECT_GT(p.interval(12).green, p.interval(23).green);
+}
+
+TEST(Scenario, S3StartsLowPeaksMidEndsLow) {
+  const PowerProfile p =
+      generateScenario(Scenario::S3, 240, kIdle, kWork, {24, 0.0, 1});
+  const Power first = p.interval(0).green;
+  const Power mid = p.interval(12).green;
+  const Power last = p.interval(23).green;
+  EXPECT_GT(mid, first);
+  EXPECT_GT(mid, last);
+  // Near-floor at both ends, near-ceiling at the peak.
+  EXPECT_LT(first, kMin + (kMax - kMin) / 10);
+  EXPECT_GT(mid, kMax - (kMax - kMin) / 10);
+}
+
+TEST(Scenario, S3RampsMoreGentlyThanS1) {
+  // At a quarter of the horizon the parabola (S1) is at 0.75 of the band
+  // while the shifted sine (S3) is at 0.5 — the curves are distinct.
+  const PowerProfile s1 =
+      generateScenario(Scenario::S1, 240, kIdle, kWork, {24, 0.0, 1});
+  const PowerProfile s3 =
+      generateScenario(Scenario::S3, 240, kIdle, kWork, {24, 0.0, 1});
+  EXPECT_GT(s1.interval(6).green, s3.interval(6).green);
+}
+
+TEST(Scenario, S4IsConstantWithoutPerturbation) {
+  const PowerProfile p =
+      generateScenario(Scenario::S4, 240, kIdle, kWork, {24, 0.0, 1});
+  for (std::size_t j = 1; j < p.numIntervals(); ++j)
+    EXPECT_EQ(p.interval(j).green, p.interval(0).green);
+  EXPECT_GT(p.interval(0).green, kMin);
+  EXPECT_LT(p.interval(0).green, kMax);
+}
+
+TEST(Scenario, ShortHorizonClampsTheIntervalCount) {
+  const PowerProfile p =
+      generateScenario(Scenario::S4, 5, kIdle, kWork, {24, 0.0, 1});
+  EXPECT_EQ(p.horizon(), 5);
+  EXPECT_LE(p.numIntervals(), 5u);
+}
+
+TEST(Scenario, IntervalLengthsCoverTheHorizonEvenly) {
+  const PowerProfile p =
+      generateScenario(Scenario::S1, 250, kIdle, kWork, {24, 0.1, 5});
+  Time total = 0;
+  for (const Interval& iv : p.intervals()) {
+    total += iv.length();
+    EXPECT_GE(iv.length(), 250 / 24);
+    EXPECT_LE(iv.length(), 250 / 24 + 1);
+  }
+  EXPECT_EQ(total, 250);
+}
+
+TEST(Scenario, RejectsBadOptions) {
+  EXPECT_THROW(generateScenario(Scenario::S1, 0, 1, 1, {}),
+               PreconditionError);
+  EXPECT_THROW(generateScenario(Scenario::S1, 10, -1, 1, {}),
+               PreconditionError);
+  EXPECT_THROW(generateScenario(Scenario::S1, 10, 1, 1, {0, 0.1, 1}),
+               PreconditionError);
+  EXPECT_THROW(generateScenario(Scenario::S1, 10, 1, 1, {4, 1.5, 1}),
+               PreconditionError);
+}
+
+TEST(Scenario, NamesAreStable) {
+  EXPECT_STREQ(scenarioName(Scenario::S1), "S1");
+  EXPECT_STREQ(scenarioName(Scenario::S4), "S4");
+}
+
+} // namespace
+} // namespace cawo

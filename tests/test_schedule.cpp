@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/schedule.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+using testing::makeChainGc;
+using testing::makeGc;
+
+TEST(Schedule, StartsDefaultToUnset) {
+  Schedule s(3);
+  EXPECT_FALSE(s.isSet(0));
+  s.setStart(0, 5);
+  EXPECT_TRUE(s.isSet(0));
+  EXPECT_EQ(s.start(0), 5);
+}
+
+TEST(Schedule, EndAddsTaskLength) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(2);
+  s.setStart(0, 0);
+  s.setStart(1, 7);
+  EXPECT_EQ(s.end(0, gc), 3);
+  EXPECT_EQ(s.end(1, gc), 11);
+  EXPECT_EQ(s.makespan(gc), 11);
+}
+
+TEST(Schedule, OutOfRangeAccessThrows) {
+  Schedule s(1);
+  EXPECT_THROW(s.start(1), PreconditionError);
+  EXPECT_THROW(s.setStart(-1, 0), PreconditionError);
+}
+
+TEST(ValidateSchedule, AcceptsFeasibleSchedule) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(2);
+  s.setStart(0, 0);
+  s.setStart(1, 5); // gap after task 0 is fine
+  EXPECT_TRUE(validateSchedule(gc, s, 10).ok);
+}
+
+TEST(ValidateSchedule, RejectsMissingStart) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(2);
+  s.setStart(0, 0);
+  const auto r = validateSchedule(gc, s, 10);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("no start"), std::string::npos);
+}
+
+TEST(ValidateSchedule, RejectsDeadlineOverrun) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(2);
+  s.setStart(0, 0);
+  s.setStart(1, 7); // ends at 11 > 10
+  const auto r = validateSchedule(gc, s, 10);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("deadline"), std::string::npos);
+}
+
+TEST(ValidateSchedule, RejectsPrecedenceViolation) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(2);
+  s.setStart(0, 2);
+  s.setStart(1, 4); // starts before task 0 ends at 5
+  const auto r = validateSchedule(gc, s, 20);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("precedence"), std::string::npos);
+}
+
+TEST(ValidateSchedule, RejectsProcessorOverlapWithoutEdges) {
+  // Two tasks on one processor but *no* chain edge (fromParts with both in
+  // one order adds the edge, so build them on separate "orders" via a
+  // hand-made graph): easiest is two procs → then move both to one proc via
+  // makeGc with no edges. makeGc puts both in procOrder → chain edge added.
+  // Instead craft overlap on *different* positions: the chain edge forces
+  // sequence, so violating it is both precedence and overlap; check message
+  // mentions one of them.
+  const EnhancedGraph gc = makeGc({{0, 5}, {0, 5}}, {}, {1}, {2});
+  Schedule s(2);
+  s.setStart(0, 0);
+  s.setStart(1, 3);
+  const auto r = validateSchedule(gc, s, 20);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ValidateSchedule, SizeMismatchIsRejected) {
+  const EnhancedGraph gc = makeChainGc({3, 4});
+  Schedule s(1);
+  EXPECT_FALSE(validateSchedule(gc, s, 10).ok);
+}
+
+TEST(ValidateSchedule, ZeroLengthTasksMayTouch) {
+  const EnhancedGraph gc = makeChainGc({0, 4});
+  Schedule s(2);
+  s.setStart(0, 0);
+  s.setStart(1, 0); // zero-length predecessor ends at 0
+  EXPECT_TRUE(validateSchedule(gc, s, 10).ok);
+}
+
+} // namespace
+} // namespace cawo

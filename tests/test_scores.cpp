@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/est_lst.hpp"
+#include "core/scores.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+using testing::makeGc;
+
+TEST(Scores, SlackIsLstMinusEst) {
+  // Two independent tasks on different procs, lens 4 and 10, deadline 20.
+  const EnhancedGraph gc = makeGc({{0, 4}, {1, 10}}, {}, {1, 1}, {1, 1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 20);
+  const auto s =
+      computeScores(gc, est, lst, {BaseScore::Slack, /*weighted=*/false});
+  EXPECT_DOUBLE_EQ(s[0], 16.0);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+}
+
+TEST(Scores, PressureFormula) {
+  const EnhancedGraph gc = makeGc({{0, 4}, {1, 10}}, {}, {1, 1}, {1, 1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 20);
+  const auto s =
+      computeScores(gc, est, lst, {BaseScore::Pressure, /*weighted=*/false});
+  EXPECT_DOUBLE_EQ(s[0], 4.0 / (16.0 + 4.0));
+  EXPECT_DOUBLE_EQ(s[1], 10.0 / (10.0 + 10.0));
+}
+
+TEST(Scores, PressureIsOneWithZeroSlack) {
+  const EnhancedGraph gc = makeGc({{0, 10}}, {}, {1}, {1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 10); // no slack at all
+  const auto s =
+      computeScores(gc, est, lst, {BaseScore::Pressure, false});
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+}
+
+TEST(Scores, WeightedPressureScalesByPowerFactor) {
+  // Proc 0 draws 4 combined, proc 1 draws 8 (the max).
+  const EnhancedGraph gc = makeGc({{0, 5}, {1, 5}}, {}, {1, 3}, {3, 5});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 10);
+  const auto plain =
+      computeScores(gc, est, lst, {BaseScore::Pressure, false});
+  const auto weighted =
+      computeScores(gc, est, lst, {BaseScore::Pressure, true});
+  EXPECT_DOUBLE_EQ(weighted[0], plain[0] * 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(weighted[1], plain[1]); // wf = 1 for the max processor
+}
+
+TEST(Scores, WeightedSlackUsesReciprocal) {
+  const EnhancedGraph gc = makeGc({{0, 5}, {1, 5}}, {}, {1, 3}, {3, 5});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 20);
+  const auto plain = computeScores(gc, est, lst, {BaseScore::Slack, false});
+  const auto weighted = computeScores(gc, est, lst, {BaseScore::Slack, true});
+  EXPECT_DOUBLE_EQ(weighted[0], plain[0] * 8.0 / 4.0);
+  EXPECT_DOUBLE_EQ(weighted[1], plain[1]);
+}
+
+TEST(Scores, SlackOrderIsNonDecreasing) {
+  const EnhancedGraph gc =
+      makeGc({{0, 4}, {1, 10}, {2, 2}}, {}, {1, 1, 1}, {1, 1, 1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 20);
+  const ScoreOptions opts{BaseScore::Slack, false};
+  const auto order = scoreOrder(gc, est, lst, opts);
+  const auto s = computeScores(gc, est, lst, opts);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    EXPECT_LE(s[static_cast<std::size_t>(order[i])],
+              s[static_cast<std::size_t>(order[i + 1])]);
+}
+
+TEST(Scores, PressureOrderIsNonIncreasing) {
+  const EnhancedGraph gc =
+      makeGc({{0, 4}, {1, 10}, {2, 2}}, {}, {1, 1, 1}, {1, 1, 1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 20);
+  const ScoreOptions opts{BaseScore::Pressure, false};
+  const auto order = scoreOrder(gc, est, lst, opts);
+  const auto s = computeScores(gc, est, lst, opts);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    EXPECT_GE(s[static_cast<std::size_t>(order[i])],
+              s[static_cast<std::size_t>(order[i + 1])]);
+}
+
+TEST(Scores, TiesBreakByNodeId) {
+  const EnhancedGraph gc =
+      makeGc({{0, 5}, {1, 5}, {2, 5}}, {}, {1, 1, 1}, {1, 1, 1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 12);
+  const auto order = scoreOrder(gc, est, lst, {BaseScore::Slack, false});
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Scores, InfeasibleWindowThrows) {
+  const EnhancedGraph gc = makeGc({{0, 10}}, {}, {1}, {1});
+  const auto est = computeEst(gc);
+  const auto lst = computeLst(gc, 5); // lst < est
+  EXPECT_THROW(computeScores(gc, est, lst, {BaseScore::Slack, false}),
+               PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

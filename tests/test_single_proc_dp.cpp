@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include <algorithm>
+
+#include "core/carbon_cost.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/single_proc_dp.hpp"
+#include "test_util.hpp"
+
+namespace cawo {
+namespace {
+
+using testing::makeChainGc;
+using testing::randomProfile;
+
+/// Evaluate a DP result through the independent cost machinery.
+Cost crossCheckCost(const SingleProcInstance& inst,
+                    const PowerProfile& profile,
+                    const std::vector<Time>& starts) {
+  const EnhancedGraph gc = makeChainGc(inst.lens, inst.idlePower,
+                                       inst.workPower);
+  Schedule s(gc.numNodes());
+  for (std::size_t i = 0; i < starts.size(); ++i)
+    s.setStart(static_cast<TaskId>(i), starts[i]);
+  return evaluateCost(gc, profile, s);
+}
+
+TEST(SingleProcDp, EmptyInstanceCostsTheIdleFloor) {
+  SingleProcInstance inst{{}, 5, 3};
+  const PowerProfile p = PowerProfile::uniform(10, 2);
+  EXPECT_EQ(solveSingleProcPseudo(inst, p, 10).cost, 30);
+  EXPECT_EQ(solveSingleProcPoly(inst, p, 10).cost, 30);
+}
+
+TEST(SingleProcDp, SingleTaskLandsInTheGreenestWindow) {
+  SingleProcInstance inst{{3}, 0, 4};
+  PowerProfile p;
+  p.appendInterval(5, 0);
+  p.appendInterval(5, 4);
+  p.appendInterval(5, 0);
+  const auto pseudo = solveSingleProcPseudo(inst, p, 15);
+  EXPECT_EQ(pseudo.cost, 0);
+  EXPECT_GE(pseudo.starts[0], 5);
+  EXPECT_LE(pseudo.starts[0] + 3, 10);
+  const auto poly = solveSingleProcPoly(inst, p, 15);
+  EXPECT_EQ(poly.cost, 0);
+}
+
+TEST(SingleProcDp, TightDeadlineForcesBackToBack) {
+  SingleProcInstance inst{{4, 6}, 1, 2};
+  const PowerProfile p = PowerProfile::uniform(10, 0);
+  const auto res = solveSingleProcPseudo(inst, p, 10);
+  EXPECT_EQ(res.starts[0], 0);
+  EXPECT_EQ(res.starts[1], 4);
+  // Idle floor 1×10 plus work 2×10 (always busy).
+  EXPECT_EQ(res.cost, 10 + 20);
+}
+
+TEST(SingleProcDp, StartsAreOrderedAndFeasible) {
+  Rng rng(5);
+  SingleProcInstance inst{{2, 5, 1, 4}, 2, 6};
+  const PowerProfile p = randomProfile(30, 5, 0, 10, rng);
+  for (const auto& res : {solveSingleProcPseudo(inst, p, 30),
+                          solveSingleProcPoly(inst, p, 30)}) {
+    ASSERT_EQ(res.starts.size(), 4u);
+    Time prevEnd = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(res.starts[i], prevEnd);
+      prevEnd = res.starts[i] + inst.lens[i];
+    }
+    EXPECT_LE(prevEnd, 30);
+    EXPECT_EQ(res.cost, crossCheckCost(inst, p, res.starts));
+  }
+}
+
+TEST(SingleProcDp, RejectsImpossibleDeadline) {
+  SingleProcInstance inst{{6, 6}, 0, 1};
+  const PowerProfile p = PowerProfile::uniform(10, 1);
+  EXPECT_THROW(solveSingleProcPseudo(inst, p, 10), PreconditionError);
+  EXPECT_THROW(solveSingleProcPoly(inst, p, 10), PreconditionError);
+}
+
+TEST(SingleProcDp, ZeroLengthTasksAreHandled) {
+  SingleProcInstance inst{{0, 3, 0}, 1, 2};
+  const PowerProfile p = PowerProfile::uniform(10, 5);
+  const auto res = solveSingleProcPseudo(inst, p, 10);
+  EXPECT_EQ(res.cost, 0);
+  const auto poly = solveSingleProcPoly(inst, p, 10);
+  EXPECT_EQ(poly.cost, 0);
+}
+
+TEST(SingleProcDp, CandidateEndTimesContainBlockAlignments) {
+  // Tasks 2, 3; boundaries {0, 7, 12}. For task 1 (len 3):
+  //   own block start-aligned at 7 → end 10; end-aligned at 7 → end 7;
+  //   block {0,1} start-aligned at 0 → end 5; end-aligned at 12 → end 12.
+  SingleProcInstance inst{{2, 3}, 0, 1};
+  PowerProfile p;
+  p.appendInterval(7, 1);
+  p.appendInterval(5, 2);
+  const auto cands = candidateEndTimes(inst, p, 12, 1);
+  for (const Time expected : {5, 7, 10, 12})
+    EXPECT_TRUE(std::find(cands.begin(), cands.end(), expected) !=
+                cands.end())
+        << "missing candidate end " << expected;
+  // All candidates feasible: ≥ 5 (both tasks before), ≤ 12.
+  for (const Time t : cands) {
+    EXPECT_GE(t, 5);
+    EXPECT_LE(t, 12);
+  }
+}
+
+// The heart of Theorem 4.1: the polynomial DP restricted to E' matches the
+// pseudo-polynomial DP over all end times, which in turn matches the
+// branch-and-bound optimum, on randomised single-processor instances.
+class DpEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpEquivalence, PolyEqualsPseudoEqualsBnB) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 3);
+  const int n = static_cast<int>(rng.uniformInt(1, 5));
+  SingleProcInstance inst;
+  inst.idlePower = rng.uniformInt(0, 3);
+  inst.workPower = rng.uniformInt(1, 6);
+  Time total = 0;
+  for (int i = 0; i < n; ++i) {
+    inst.lens.push_back(rng.uniformInt(1, 4));
+    total += inst.lens.back();
+  }
+  const Time deadline = total + rng.uniformInt(0, 8);
+  const PowerProfile profile = randomProfile(deadline, 4, 0, 9, rng);
+
+  const auto pseudo = solveSingleProcPseudo(inst, profile, deadline);
+  const auto poly = solveSingleProcPoly(inst, profile, deadline);
+  EXPECT_EQ(pseudo.cost, poly.cost);
+  EXPECT_EQ(pseudo.cost, crossCheckCost(inst, profile, pseudo.starts));
+  EXPECT_EQ(poly.cost, crossCheckCost(inst, profile, poly.starts));
+
+  const EnhancedGraph gc =
+      makeChainGc(inst.lens, inst.idlePower, inst.workPower);
+  const BnbResult exact = solveExact(gc, profile, deadline);
+  ASSERT_TRUE(exact.provedOptimal);
+  EXPECT_EQ(exact.cost, pseudo.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, DpEquivalence,
+                         ::testing::Range(0, 30));
+
+TEST(SingleProcDp, ExtractionFromEnhancedGraph) {
+  const EnhancedGraph gc = makeChainGc({4, 2, 7}, 3, 9);
+  const SingleProcInstance inst = singleProcInstanceFrom(gc);
+  EXPECT_EQ(inst.lens, (std::vector<Time>{4, 2, 7}));
+  EXPECT_EQ(inst.idlePower, 3);
+  EXPECT_EQ(inst.workPower, 9);
+}
+
+TEST(SingleProcDp, ExtractionRejectsMultiprocGraphs) {
+  const EnhancedGraph gc =
+      testing::makeGc({{0, 1}, {1, 1}}, {}, {1, 1}, {1, 1});
+  EXPECT_THROW(singleProcInstanceFrom(gc), PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,37 @@
+// End-to-end smoke test: a small pipeline instance goes through HEFT,
+// enhanced-graph construction, ASAP, every CaWoSched variant, and the cost
+// evaluators without tripping any invariant.
+
+#include <gtest/gtest.h>
+
+#include "core/asap.hpp"
+#include "core/carbon_cost.hpp"
+#include "core/cawosched.hpp"
+#include "sim/instance.hpp"
+#include "sim/runner.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(Smoke, EndToEndSmallInstance) {
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Atacseq;
+  spec.targetTasks = 60;
+  spec.nodesPerType = 1;
+  spec.scenario = Scenario::S1;
+  spec.deadlineFactor = 2.0;
+  spec.seed = 42;
+
+  const Instance inst = buildInstance(spec);
+  EXPECT_GT(inst.gc.numNodes(), inst.graph.numTasks());
+  EXPECT_GE(inst.deadline, inst.asapMakespanD);
+
+  const InstanceResult result = runAllOnInstance(inst);
+  ASSERT_EQ(result.runs.size(), 17u); // ASAP + 16 variants
+  for (const AlgoRun& run : result.runs) {
+    EXPECT_GE(run.cost, 0) << run.algorithm;
+  }
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("slackWR-LS", "slack"));
+  EXPECT_FALSE(startsWith("press", "slack"));
+  EXPECT_TRUE(endsWith("slackWR-LS", "-LS"));
+  EXPECT_FALSE(endsWith("slackWR", "-LS"));
+}
+
+TEST(Strings, FormatFixedControlsPrecision) {
+  EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(formatFixed(2.0, 1), "2.0");
+  EXPECT_EQ(formatFixed(-0.5, 3), "-0.500");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Cli, ParsesAllSupportedSyntaxes) {
+  const char* argv[] = {"prog", "--tasks=100", "--seed", "7", "--full"};
+  const CliArgs args(5, argv, {"tasks", "seed", "full", "unused"});
+  EXPECT_EQ(args.getInt("tasks", 0), 100);
+  EXPECT_EQ(args.getInt("seed", 0), 7);
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.has("unused"));
+  EXPECT_EQ(args.getInt("unused", 42), 42);
+}
+
+TEST(Cli, DoubleAndStringValues) {
+  const char* argv[] = {"prog", "--factor=1.5", "--name=pressWR-LS"};
+  const CliArgs args(3, argv, {"factor", "name"});
+  EXPECT_DOUBLE_EQ(args.getDouble("factor", 0.0), 1.5);
+  EXPECT_EQ(args.getString("name", ""), "pressWR-LS");
+  EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_THROW(CliArgs(2, argv, {"tasks"}), PreconditionError);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, argv, {"tasks"}), PreconditionError);
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include <sstream>
+
+#include "sim/table.hpp"
+
+namespace cawo {
+namespace {
+
+TEST(TextTable, AlignsColumnsToWidestCell) {
+  TextTable t({"name", "v"});
+  t.addRow({"a", "100"});
+  t.addRow({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | v   |"), std::string::npos);
+  EXPECT_NE(out.find("| a           | 100 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2   |"), std::string::npos);
+  // Separator lines frame header and body.
+  EXPECT_GE(std::count(out.begin(), out.end(), '+'), 4);
+}
+
+TEST(TextTable, RejectsMismatchedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(BarChart, ScalesToTheMaximum) {
+  std::ostringstream os;
+  printBarChart(os, "title", {"x", "y"}, {1.0, 2.0}, 10, 1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos); // y at full width
+  EXPECT_NE(out.find("#####\n"), std::string::npos);    // x at half width
+}
+
+TEST(BarChart, HandlesAllZeroValues) {
+  std::ostringstream os;
+  printBarChart(os, "", {"x"}, {0.0});
+  EXPECT_EQ(os.str().find('#'), std::string::npos);
+}
+
+TEST(BarChart, RejectsMismatchedInputs) {
+  std::ostringstream os;
+  EXPECT_THROW(printBarChart(os, "", {"x"}, {1.0, 2.0}), PreconditionError);
+}
+
+TEST(Heading, FramesTheText) {
+  std::ostringstream os;
+  printHeading(os, "hello");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| hello |"), std::string::npos);
+  EXPECT_NE(out.find("========="), std::string::npos);
+}
+
+} // namespace
+} // namespace cawo

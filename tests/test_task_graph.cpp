@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include <algorithm>
+
+#include "core/task_graph.hpp"
+
+namespace cawo {
+namespace {
+
+TaskGraph diamond() {
+  TaskGraph g;
+  const TaskId a = g.addTask("a", 10);
+  const TaskId b = g.addTask("b", 20);
+  const TaskId c = g.addTask("c", 30);
+  const TaskId d = g.addTask("d", 40);
+  g.addEdge(a, b, 1);
+  g.addEdge(a, c, 2);
+  g.addEdge(b, d, 3);
+  g.addEdge(c, d, 4);
+  return g;
+}
+
+TEST(TaskGraph, AddTaskReturnsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.addTask("x", 1), 0);
+  EXPECT_EQ(g.addTask("y", 2), 1);
+  EXPECT_EQ(g.numTasks(), 2);
+  EXPECT_EQ(g.work(0), 1);
+  EXPECT_EQ(g.name(1), "y");
+}
+
+TEST(TaskGraph, RejectsNegativeWork) {
+  TaskGraph g;
+  EXPECT_THROW(g.addTask("x", -1), PreconditionError);
+}
+
+TEST(TaskGraph, RejectsSelfLoop) {
+  TaskGraph g;
+  const TaskId a = g.addTask("a", 1);
+  EXPECT_THROW(g.addEdge(a, a, 0), PreconditionError);
+}
+
+TEST(TaskGraph, RejectsUnknownEndpoints) {
+  TaskGraph g;
+  g.addTask("a", 1);
+  EXPECT_THROW(g.addEdge(0, 5, 0), PreconditionError);
+  EXPECT_THROW(g.addEdge(-1, 0, 0), PreconditionError);
+}
+
+TEST(TaskGraph, RejectsNegativeEdgeData) {
+  TaskGraph g;
+  g.addTask("a", 1);
+  g.addTask("b", 1);
+  EXPECT_THROW(g.addEdge(0, 1, -5), PreconditionError);
+}
+
+TEST(TaskGraph, AdjacencyMatchesEdges) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.outDegree(0), 2u);
+  EXPECT_EQ(g.inDegree(0), 0u);
+  EXPECT_EQ(g.outDegree(3), 0u);
+  EXPECT_EQ(g.inDegree(3), 2u);
+  EXPECT_EQ(g.outDegree(1), 1u);
+  EXPECT_EQ(g.inDegree(1), 1u);
+
+  // Outgoing edge indices of the source reference the right edges.
+  for (const std::size_t ei : g.outEdges(0))
+    EXPECT_EQ(g.edges()[ei].src, 0);
+  for (const std::size_t ei : g.inEdges(3))
+    EXPECT_EQ(g.edges()[ei].dst, 3);
+}
+
+TEST(TaskGraph, AdjacencySurvivesMutation) {
+  TaskGraph g = diamond();
+  EXPECT_EQ(g.outDegree(0), 2u); // builds the cache
+  const TaskId e = g.addTask("e", 5);
+  g.addEdge(3, e, 1); // invalidates and rebuilds
+  EXPECT_EQ(g.outDegree(3), 1u);
+  EXPECT_EQ(g.inDegree(e), 1u);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const std::vector<TaskId> topo = g.topologicalOrder();
+  ASSERT_EQ(topo.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    pos[static_cast<std::size_t>(topo[i])] = i;
+  for (const auto& e : g.edges())
+    EXPECT_LT(pos[static_cast<std::size_t>(e.src)],
+              pos[static_cast<std::size_t>(e.dst)]);
+}
+
+TEST(TaskGraph, CycleIsDetected) {
+  TaskGraph g;
+  const TaskId a = g.addTask("a", 1);
+  const TaskId b = g.addTask("b", 1);
+  const TaskId c = g.addTask("c", 1);
+  g.addEdge(a, b, 0);
+  g.addEdge(b, c, 0);
+  g.addEdge(c, a, 0);
+  EXPECT_FALSE(g.isAcyclic());
+  EXPECT_THROW(g.topologicalOrder(), PreconditionError);
+}
+
+TEST(TaskGraph, EmptyGraphIsAcyclic) {
+  TaskGraph g;
+  EXPECT_TRUE(g.isAcyclic());
+  EXPECT_TRUE(g.topologicalOrder().empty());
+}
+
+TEST(TaskGraph, HasEdgeFindsOnlyExistingEdges) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(2, 3));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(TaskGraph, TotalWorkSumsVertexWeights) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.totalWork(), 100);
+}
+
+TEST(TaskGraph, ZeroWorkTaskIsAllowed) {
+  TaskGraph g;
+  const TaskId a = g.addTask("a", 0);
+  EXPECT_EQ(g.work(a), 0);
+}
+
+} // namespace
+} // namespace cawo
