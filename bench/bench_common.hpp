@@ -11,6 +11,9 @@
 //   --intervals=J    power-profile intervals (default 16)
 //   --seeds=K        instances per (family, cluster) cell (default 1)
 //   --seed=S         base RNG seed (default 1)
+//   --algos=SEL      solver selection from the registry: "suite" (ASAP +
+//                    the 16 CaWoSched variants — the paper's figure set),
+//                    "all", a glob, or a comma list (default "suite")
 //   --full           paper-leaning preset (--tasks=400 --clusters=2,4
 //                    --seeds=2) — still laptop-sized
 
@@ -23,6 +26,7 @@
 #include "sim/runner.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 
@@ -34,12 +38,20 @@ struct BenchConfig {
   int numIntervals = 16;
   int seedsPerCell = 1;
   std::uint64_t baseSeed = 1;
+  std::string algos = "suite"; ///< registry selection (see solverNames())
+
+  /// The resolved solver selection: the canonical bench suite by default,
+  /// otherwise whatever registry pattern --algos names.
+  std::vector<std::string> solverNames() const {
+    if (algos == "suite") return suiteSolverNames();
+    return SolverRegistry::global().select(algos);
+  }
 };
 
 inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
                      {"tasks", "clusters", "intervals", "seeds", "seed",
-                      "full"});
+                      "algos", "full"});
   BenchConfig cfg;
   if (args.has("full")) {
     cfg.tasks = 400;
@@ -51,6 +63,7 @@ inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
                                                   cfg.numIntervals));
   cfg.seedsPerCell = static_cast<int>(args.getInt("seeds", cfg.seedsPerCell));
   cfg.baseSeed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  cfg.algos = args.getString("algos", cfg.algos);
   if (args.has("clusters")) {
     cfg.clusters.clear();
     for (const std::string& c : split(args.getString("clusters", ""), ','))
@@ -87,9 +100,10 @@ inline std::vector<InstanceSpec> benchGrid(const BenchConfig& cfg) {
 
 inline std::vector<InstanceResult> runBenchGrid(const BenchConfig& cfg) {
   const auto specs = benchGrid(cfg);
+  const auto solvers = cfg.solverNames();
   std::cout << "running " << specs.size() << " instances × "
-            << algorithmNames().size() << " algorithms ...\n";
-  return runSuite(specs);
+            << solvers.size() << " solvers ...\n";
+  return runSuite(specs, solvers);
 }
 
 /// Median cost ratio vs ASAP (index 0) for every CaWoSched variant.

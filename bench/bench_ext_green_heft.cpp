@@ -9,21 +9,22 @@
 // toward frugal processors stretches the makespan into darker tail
 // intervals and costs more than it saves. This quantifies why the paper
 // flags the carbon-aware HEFT extension as an open problem rather than a
-// straightforward add-on; use --tasks/--seed and the alpha knob in
-// GreenHeftOptions to explore the trade-off.
+// straightforward add-on; use --tasks/--seed and the "greenheft[alpha]"
+// bracket parameter to explore the trade-off.
+//
+// All three pipelines run through the unified solver registry: "ASAP" and
+// "pressWR-LS" on the fixed HEFT mapping, and the re-mapping "greenheft"
+// solver (which keeps the instance's absolute deadline when feasible and
+// extends the profile band over its own, possibly longer, horizon).
 
 #include "bench_common.hpp"
-
-#include "core/asap.hpp"
-#include "core/carbon_cost.hpp"
-#include "heft/green_heft.hpp"
 
 int main(int argc, char** argv) {
   using namespace cawo;
   using namespace cawo::bench;
 
   const BenchConfig cfg = parseBenchConfig(argc, argv);
-  const VariantSpec variant = VariantSpec::parse("pressWR-LS");
+  const SolverRegistry& registry = SolverRegistry::global();
 
   std::vector<double> ratioHeft, ratioGreen;
   std::vector<double> perScenarioHeft[4], perScenarioGreen[4];
@@ -33,33 +34,28 @@ int main(int argc, char** argv) {
     for (const InstanceSpec& spec :
          fullGrid(family, cfg.tasks, cfg.clusters.front(), cfg.baseSeed,
                   cfg.numIntervals)) {
-      // Pipeline 1+2: plain HEFT mapping (the standard Instance build).
       const Instance inst = buildInstance(spec);
-      const Cost asap =
-          evaluateCost(inst.gc, inst.profile, scheduleAsap(inst.gc));
-      const Cost heftCost = evaluateCost(
-          inst.gc, inst.profile,
-          runVariant(inst.gc, inst.profile, inst.deadline, variant));
 
-      // Pipeline 3: GreenHEFT mapping on the same workflow and profile
-      // band, then the same variant.
-      GreenHeftOptions gh;
-      gh.alpha = 0.5;
-      const HeftResult mapped =
-          runGreenHeft(inst.graph, inst.platform, inst.profile, gh);
-      LinkPowerOptions lp;
-      lp.seed = spec.seed ^ 0x11CC77EEULL;
-      const EnhancedGraph gc2 = EnhancedGraph::build(
-          inst.graph, inst.platform, mapped.mapping, lp, &mapped.startTimes);
-      const Time d2 = asapMakespan(gc2);
-      // Keep the instance's absolute deadline when feasible so both
-      // pipelines optimise against the same horizon; GreenHEFT may have a
-      // longer makespan, in which case its own D bounds the deadline.
-      const Time deadline2 = std::max(inst.deadline, d2);
-      PowerProfile profile2 = inst.profile;
-      profile2.extendTo(deadline2, inst.profile.intervals().back().green);
-      const Cost greenCost = evaluateCost(
-          gc2, profile2, runVariant(gc2, profile2, deadline2, variant));
+      SolveRequest request;
+      request.gc = &inst.gc;
+      request.profile = &inst.profile;
+      request.deadline = inst.deadline;
+      request.graph = &inst.graph;
+      request.platform = &inst.platform;
+      request.options.setDouble("alpha", 0.5);
+      request.options.set("variant", "pressWR-LS");
+      request.options.setInt(
+          "link-seed",
+          static_cast<std::int64_t>(spec.seed ^ 0x11CC77EEULL));
+
+      // Pipelines 1+2: fixed HEFT mapping (the standard Instance build).
+      const Cost asap = registry.create("ASAP")->solve(request).cost;
+      const Cost heftCost =
+          registry.create("pressWR-LS")->solve(request).cost;
+
+      // Pipeline 3: carbon-aware re-mapping, then the same variant.
+      const Cost greenCost =
+          registry.create("greenheft")->solve(request).cost;
 
       if (asap == 0) continue;
       const auto scenarioIdx = static_cast<std::size_t>(spec.scenario);

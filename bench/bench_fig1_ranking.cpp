@@ -3,6 +3,10 @@
 // ties share a rank). Expected shape (paper): every CaWoSched variant is
 // ranked first far more often than ASAP; ASAP is the worst algorithm on
 // ~84 % of the instances; pressWR-LS leads by a small margin.
+//
+// The solver set comes from the registry: the default --algos=suite is
+// the paper's figure set (ASAP + 16 variants); pass e.g.
+// --algos=ASAP,press*,greenheft to rank any registered selection.
 
 #include "bench_common.hpp"
 

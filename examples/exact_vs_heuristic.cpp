@@ -1,20 +1,19 @@
 // Optimality study on a small instance (the Figure 7 setting): solve one
 // instance exactly with the branch-and-bound solver, compare every
-// heuristic against the optimum, and export the Appendix A.4 ILP in LP
-// format for external solvers (Gurobi/CPLEX/HiGHS).
+// heuristic against the optimum — all through the unified solver
+// registry — and export the Appendix A.4 ILP in LP format for external
+// solvers (Gurobi/CPLEX/HiGHS).
 //
 //   $ ./exact_vs_heuristic [--tasks=6] [--seed=3] [--lp-out=model.lp]
 
 #include <iostream>
 
 #include "core/asap.hpp"
-#include "core/carbon_cost.hpp"
-#include "core/cawosched.hpp"
-#include "exact/branch_and_bound.hpp"
 #include "exact/ilp_writer.hpp"
-#include "exact/single_proc_dp.hpp"
 #include "profile/scenario.hpp"
+#include "sim/runner.hpp"
 #include "sim/table.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -51,36 +50,52 @@ int main(int argc, char** argv) {
   std::cout << "instance: " << tasks << " tasks on 2 processors, deadline "
             << deadline << "\n";
 
-  const BnbResult exact = solveExact(gc, profile, deadline);
+  const SolverRegistry& registry = SolverRegistry::global();
+  SolveRequest request;
+  request.gc = &gc;
+  request.profile = &profile;
+  request.deadline = deadline;
+
+  const SolveResult exact = registry.create("bnb")->solve(request);
   std::cout << "exact optimum: cost " << exact.cost << " ("
-            << exact.nodesExplored << " search nodes, "
+            << exact.stats.at("nodes-explored") << " search nodes, "
             << (exact.provedOptimal ? "proved optimal" : "budget hit")
             << ")\n\n";
 
   TextTable table({"algorithm", "cost", "gap to optimum"});
-  const Schedule asap = scheduleAsap(gc);
-  const Cost asapCost = evaluateCost(gc, profile, asap);
-  table.addRow({"ASAP", std::to_string(asapCost),
-                std::to_string(asapCost - exact.cost)});
-  for (const VariantSpec& v : allVariants()) {
-    const Schedule s = runVariant(gc, profile, deadline, v);
-    const Cost c = evaluateCost(gc, profile, s);
-    table.addRow({v.name(), std::to_string(c),
-                  std::to_string(c - exact.cost)});
+  for (const std::string& name : suiteSolverNames()) {
+    const Cost c = registry.create(name)->solve(request).cost;
+    table.addRow({name, std::to_string(c), std::to_string(c - exact.cost)});
   }
   table.print(std::cout);
 
   // The uniprocessor special case is polynomial (Theorem 4.1) — show the
-  // DP agreeing with B&B on the chain of processor 0's tasks.
-  SingleProcInstance chain;
-  chain.idlePower = gc.idlePower(0);
-  chain.workPower = gc.workPower(0);
-  for (const TaskId v : gc.procOrder(0)) chain.lens.push_back(gc.len(v));
-  if (!chain.lens.empty()) {
-    const auto dp = solveSingleProcPoly(chain, profile, deadline);
-    std::cout << "\nTheorem 4.1 check — single-processor DP on processor 0's "
-                 "chain: cost "
-              << dp.cost << "\n";
+  // "dp" solver agreeing with B&B on the chain of processor 0's tasks,
+  // viewed as a single-processor enhanced graph.
+  {
+    std::vector<EnhancedGraph::Node> chainNodes;
+    std::vector<TaskId> chainOrder;
+    for (const TaskId v : gc.procOrder(0)) {
+      EnhancedGraph::Node node;
+      node.original = static_cast<TaskId>(chainNodes.size());
+      node.proc = 0;
+      node.len = gc.len(v);
+      chainOrder.push_back(static_cast<TaskId>(chainNodes.size()));
+      chainNodes.push_back(node);
+    }
+    if (!chainNodes.empty()) {
+      const EnhancedGraph chain = EnhancedGraph::fromParts(
+          std::move(chainNodes), {}, {gc.idlePower(0)}, {gc.workPower(0)},
+          {std::move(chainOrder)});
+      SolveRequest chainRequest;
+      chainRequest.gc = &chain;
+      chainRequest.profile = &profile;
+      chainRequest.deadline = deadline;
+      const SolveResult dp = registry.create("dp")->solve(chainRequest);
+      std::cout << "\nTheorem 4.1 check — single-processor DP on processor "
+                   "0's chain: cost "
+                << dp.cost << (dp.provedOptimal ? " (optimal)" : "") << "\n";
+    }
   }
 
   const std::string lpPath = args.getString("lp-out", "");

@@ -1,15 +1,15 @@
 // Quickstart: build a tiny workflow by hand, map it with HEFT onto a
 // 2-node cluster, define a solar-like green power profile, and compare the
-// carbon cost of the ASAP baseline with CaWoSched's pressWR-LS variant.
+// carbon cost of the ASAP baseline with CaWoSched's pressWR-LS variant —
+// both obtained through the unified solver registry.
 //
 //   $ ./quickstart
 
 #include <iostream>
 
 #include "core/asap.hpp"
-#include "core/carbon_cost.hpp"
-#include "core/cawosched.hpp"
 #include "heft/heft.hpp"
+#include "solver/registry.hpp"
 
 int main() {
   using namespace cawo;
@@ -58,25 +58,29 @@ int main() {
   std::cout << "ASAP makespan D = " << d << ", deadline = " << deadline
             << " time units\n\n";
 
-  // 5. Compare ASAP against the paper's strongest variant.
-  const Schedule asap = scheduleAsap(gc);
-  const Cost asapCost = evaluateCost(gc, profile, asap);
+  // 5. Compare ASAP against the paper's strongest variant. Any solver
+  //    from the registry (`cawosched-cli --list-algos`) fits this mold.
+  SolveRequest request;
+  request.gc = &gc;
+  request.profile = &profile;
+  request.deadline = deadline;
 
-  const VariantSpec spec = VariantSpec::parse("pressWR-LS");
-  const Schedule tuned = runVariant(gc, profile, deadline, spec);
-  const Cost tunedCost = evaluateCost(gc, profile, tuned);
+  const SolverRegistry& registry = SolverRegistry::global();
+  const SolveResult asap = registry.create("ASAP")->solve(request);
+  const SolveResult tuned = registry.create("pressWR-LS")->solve(request);
 
-  std::cout << "carbon cost ASAP       : " << asapCost << "\n";
-  std::cout << "carbon cost pressWR-LS : " << tunedCost << "\n";
-  if (asapCost > 0)
+  std::cout << "carbon cost ASAP       : " << asap.cost << "\n";
+  std::cout << "carbon cost pressWR-LS : " << tuned.cost << " (solved in "
+            << tuned.wallMs << " ms)\n";
+  if (asap.cost > 0)
     std::cout << "savings                : "
-              << 100.0 * static_cast<double>(asapCost - tunedCost) /
-                     static_cast<double>(asapCost)
+              << 100.0 * static_cast<double>(asap.cost - tuned.cost) /
+                     static_cast<double>(asap.cost)
               << " %\n";
 
   std::cout << "\nschedule (task, start, proc):\n";
   for (TaskId v = 0; v < workflow.numTasks(); ++v)
-    std::cout << "  " << workflow.name(v) << "\t t=" << tuned.start(v)
-              << "\t p" << gc.procOf(v) << "\n";
+    std::cout << "  " << workflow.name(v) << "\t t="
+              << tuned.schedule.start(v) << "\t p" << gc.procOf(v) << "\n";
   return 0;
 }

@@ -1,89 +1,87 @@
 #include "sim/runner.hpp"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
-
-#include "core/asap.hpp"
-#include "core/carbon_cost.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
-#include "util/timer.hpp"
 
 namespace cawo {
 
-std::vector<std::string> algorithmNames() {
+std::vector<std::string> suiteSolverNames() {
   std::vector<std::string> names{"ASAP"};
   for (const VariantSpec& v : allVariants()) names.push_back(v.name());
   return names;
 }
 
-InstanceResult runAllOnInstance(const Instance& instance,
-                                const CaWoParams& params) {
+std::vector<std::string> algorithmNames() { return suiteSolverNames(); }
+
+SolverOptions solverOptionsFrom(const CaWoParams& params) {
+  SolverOptions options;
+  options.setInt("block-size", params.blockSize);
+  options.setInt("ls-radius", params.lsRadius);
+  return options;
+}
+
+InstanceResult runSolversOnInstance(const Instance& instance,
+                                    const std::vector<std::string>& solvers,
+                                    const SolverOptions& options) {
   InstanceResult result;
   result.spec = instance.spec;
   result.deadline = instance.deadline;
   result.numNodes = instance.gc.numNodes();
+  result.runs.reserve(solvers.size());
 
-  {
-    WallTimer timer;
-    const Schedule s = scheduleAsap(instance.gc);
-    const double ms = timer.elapsedMs();
-    const ValidationResult ok =
-        validateSchedule(instance.gc, s, instance.deadline);
-    CAWO_ASSERT(ok.ok, "ASAP produced an invalid schedule: " + ok.message);
-    result.runs.push_back(
-        {"ASAP", evaluateCost(instance.gc, instance.profile, s), ms});
-  }
+  SolveRequest request;
+  request.gc = &instance.gc;
+  request.profile = &instance.profile;
+  request.deadline = instance.deadline;
+  request.graph = &instance.graph;
+  request.platform = &instance.platform;
+  request.options = options;
 
-  for (const VariantSpec& v : allVariants()) {
-    WallTimer timer;
-    const Schedule s =
-        runVariant(instance.gc, instance.profile, instance.deadline, v, params);
-    const double ms = timer.elapsedMs();
-    const ValidationResult ok =
-        validateSchedule(instance.gc, s, instance.deadline);
-    CAWO_ASSERT(ok.ok, "variant " + v.name() +
-                           " produced an invalid schedule: " + ok.message);
+  const SolverRegistry& registry = SolverRegistry::global();
+  for (const std::string& name : solvers) {
+    const SolverPtr solver = registry.create(name);
+    // Solvers whose capabilities don't fit the instance are skipped, so
+    // broad selections ("all") stay usable on any suite: the
+    // single-processor DP cannot run on a multi-processor graph.
+    if (solver->info().singleProcOnly && instance.gc.numProcs() != 1)
+      continue;
+    const SolveResult solved = solver->solve(request);
+    CAWO_ASSERT(solved.feasible, "solver " + name +
+                                     " produced an invalid schedule: " +
+                                     solved.validation.message);
     result.runs.push_back(
-        {v.name(), evaluateCost(instance.gc, instance.profile, s), ms});
+        {name, solved.cost, solved.wallMs, solved.provedOptimal});
   }
   return result;
+}
+
+InstanceResult runAllOnInstance(const Instance& instance,
+                                const CaWoParams& params) {
+  return runSolversOnInstance(instance, suiteSolverNames(),
+                              solverOptionsFrom(params));
+}
+
+std::vector<InstanceResult> runSuite(const std::vector<InstanceSpec>& specs,
+                                     const std::vector<std::string>& solvers,
+                                     const SolverOptions& options,
+                                     unsigned threads) {
+  std::vector<InstanceResult> results(specs.size());
+  try {
+    parallelFor(specs.size(), threads, [&](std::size_t i) {
+      const Instance instance = buildInstance(specs[i]);
+      results[i] = runSolversOnInstance(instance, solvers, options);
+    });
+  } catch (const std::exception& e) {
+    CAWO_REQUIRE(false, "suite run failed: " + std::string(e.what()));
+  }
+  return results;
 }
 
 std::vector<InstanceResult> runSuite(const std::vector<InstanceSpec>& specs,
                                      const CaWoParams& params,
                                      unsigned threads) {
-  std::vector<InstanceResult> results(specs.size());
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = std::min<unsigned>(threads,
-                               static_cast<unsigned>(specs.size() ? specs.size() : 1));
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::string firstError;
-  std::mutex errorMutex;
-
-  auto worker = [&]() {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      try {
-        const Instance instance = buildInstance(specs[i]);
-        results[i] = runAllOnInstance(instance, params);
-      } catch (const std::exception& e) {
-        const std::scoped_lock lock(errorMutex);
-        if (!failed.exchange(true)) firstError = e.what();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  CAWO_REQUIRE(!failed.load(), "suite run failed: " + firstError);
-  return results;
+  return runSuite(specs, suiteSolverNames(), solverOptionsFrom(params),
+                  threads);
 }
 
 std::vector<InstanceSpec> fullGrid(WorkflowFamily family, int targetTasks,

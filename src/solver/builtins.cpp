@@ -1,0 +1,11 @@
+#include "solver/builtins.hpp"
+
+namespace cawo {
+
+void registerBuiltinSolvers(SolverRegistry& registry) {
+  registerCoreSolvers(registry);  // "ASAP" + the 16 CaWoSched variants
+  registerHeftSolvers(registry);  // "greenheft"
+  registerExactSolvers(registry); // "bnb", "dp"
+}
+
+} // namespace cawo

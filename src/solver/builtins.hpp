@@ -1,0 +1,23 @@
+#pragma once
+
+#include "solver/registry.hpp"
+
+/// \file builtins.hpp
+/// Per-family registration hooks for the built-in solvers. The canonical
+/// registry order is: "ASAP", the 16 CaWoSched variants, "greenheft",
+/// then the exact solvers "bnb" and "dp".
+
+namespace cawo {
+
+/// "ASAP" and the 16 CaWoSched variants (src/core).
+void registerCoreSolvers(SolverRegistry& registry);
+
+/// The two-pass "greenheft" pipeline (src/heft), alpha-parameterisable as
+/// "greenheft[alpha]".
+void registerHeftSolvers(SolverRegistry& registry);
+
+/// The exact solvers: branch-and-bound "bnb" and the single-processor
+/// dynamic program "dp" (src/exact).
+void registerExactSolvers(SolverRegistry& registry);
+
+} // namespace cawo

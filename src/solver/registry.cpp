@@ -1,0 +1,146 @@
+#include "solver/registry.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+namespace {
+
+/// Glob match with `*` (any run) and `?` (any one char); linear-time
+/// two-pointer algorithm, no backtracking blowup.
+bool globMatch(const std::string& pattern, const std::string& text) {
+  std::size_t p = 0, t = 0, star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool isGlob(const std::string& s) {
+  return s.find('*') != std::string::npos || s.find('?') != std::string::npos;
+}
+
+} // namespace
+
+std::pair<std::string, std::string> splitBracketParam(
+    const std::string& name) {
+  const std::size_t open = name.find('[');
+  if (open == std::string::npos || name.back() != ']') return {name, ""};
+  return {name.substr(0, open),
+          name.substr(open + 1, name.size() - open - 2)};
+}
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* instance = [] {
+    auto* r = new SolverRegistry();
+    registerBuiltinSolvers(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+void SolverRegistry::registerFactory(const std::string& name,
+                                     Factory factory) {
+  CAWO_REQUIRE(!name.empty(), "solver name must not be empty");
+  CAWO_REQUIRE(name.find('[') == std::string::npos,
+               "register the base name, not a parameterised form: '" + name +
+                   "'");
+  CAWO_REQUIRE(find(name) == nullptr,
+               "solver '" + name + "' is already registered");
+  order_.push_back(name);
+  factories_.emplace_back(name, std::move(factory));
+}
+
+const SolverRegistry::Factory* SolverRegistry::find(
+    const std::string& name) const {
+  for (const auto& [key, factory] : factories_)
+    if (key == name) return &factory;
+  return nullptr;
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  if (find(name) != nullptr) return true;
+  const auto [base, param] = splitBracketParam(name);
+  return !param.empty() && find(base) != nullptr;
+}
+
+std::vector<std::string> SolverRegistry::names() const { return order_; }
+
+SolverPtr SolverRegistry::create(const std::string& name) const {
+  const Factory* factory = find(name);
+  if (factory == nullptr) {
+    const auto [base, param] = splitBracketParam(name);
+    if (!param.empty()) factory = find(base);
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const std::string& n : order_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    CAWO_REQUIRE(false, "unknown solver '" + name +
+                            "' — registered solvers: " + known);
+  }
+  SolverPtr solver = (*factory)(name);
+  CAWO_ASSERT(solver != nullptr,
+              "factory for '" + name + "' returned null");
+  return solver;
+}
+
+std::vector<std::string> SolverRegistry::select(
+    const std::string& pattern) const {
+  if (pattern.empty() || pattern == "all") return order_;
+
+  // Union of comma-separated entries, de-duplicated, canonical order for
+  // globs and entry order for exact names.
+  std::vector<std::string> out;
+  const auto push = [&out](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end())
+      out.push_back(name);
+  };
+
+  for (const std::string& rawEntry : split(pattern, ',')) {
+    const std::string entry{trim(rawEntry)};
+    if (entry.empty()) continue;
+    if (entry == "all") {
+      for (const std::string& n : order_) push(n);
+      continue;
+    }
+    if (isGlob(entry)) {
+      bool any = false;
+      for (const std::string& n : order_) {
+        if (globMatch(entry, n)) {
+          push(n);
+          any = true;
+        }
+      }
+      CAWO_REQUIRE(any, "selection pattern '" + entry +
+                            "' matches no registered solver");
+      continue;
+    }
+    CAWO_REQUIRE(contains(entry), "unknown solver '" + entry +
+                                      "' in selection '" + pattern + "'");
+    push(entry);
+  }
+  CAWO_REQUIRE(!out.empty(),
+               "selection '" + pattern + "' matches no solver");
+  return out;
+}
+
+} // namespace cawo

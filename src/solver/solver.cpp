@@ -1,0 +1,107 @@
+#include "solver/solver.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/carbon_cost.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace cawo {
+
+SolverOptions& SolverOptions::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+  return *this;
+}
+
+SolverOptions& SolverOptions::setInt(const std::string& key,
+                                     std::int64_t value) {
+  return set(key, std::to_string(value));
+}
+
+SolverOptions& SolverOptions::setDouble(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  return set(key, os.str());
+}
+
+bool SolverOptions::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::int64_t SolverOptions::getInt(const std::string& key,
+                                   std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    CAWO_REQUIRE(false, "option '" + key + "' is not an integer: '" +
+                            it->second + "'");
+  }
+  return fallback; // unreachable
+}
+
+double SolverOptions::getDouble(const std::string& key,
+                                double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    CAWO_REQUIRE(false, "option '" + key + "' is not a number: '" +
+                            it->second + "'");
+  }
+  return fallback; // unreachable
+}
+
+std::string SolverOptions::getString(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+SolveResult Solver::solve(const SolveRequest& request) const {
+  const SolverInfo meta = info();
+  CAWO_REQUIRE(request.gc != nullptr,
+               "SolveRequest.gc is required (solver '" + meta.name + "')");
+  CAWO_REQUIRE(request.profile != nullptr,
+               "SolveRequest.profile is required (solver '" + meta.name +
+                   "')");
+  CAWO_REQUIRE(request.deadline > 0,
+               "SolveRequest.deadline must be positive (solver '" +
+                   meta.name + "')");
+  if (meta.needsWorkflow) {
+    CAWO_REQUIRE(request.graph != nullptr && request.platform != nullptr,
+                 "solver '" + meta.name +
+                     "' re-runs the mapping pass and needs "
+                     "SolveRequest.graph and SolveRequest.platform");
+  }
+
+  WallTimer timer;
+  RawResult raw = doSolve(request);
+  const double wallMs = timer.elapsedMs();
+
+  SolveResult result;
+  result.schedule = std::move(raw.schedule);
+  result.wallMs = wallMs;
+  result.provedOptimal = raw.provedOptimal;
+  result.stats = std::move(raw.stats);
+  result.remappedGc = std::move(raw.remappedGc);
+  result.extendedProfile = std::move(raw.extendedProfile);
+  result.effectiveDeadline =
+      raw.effectiveDeadline >= 0 ? raw.effectiveDeadline : request.deadline;
+
+  const EnhancedGraph& gc =
+      result.remappedGc ? *result.remappedGc : *request.gc;
+  const PowerProfile& profile =
+      result.extendedProfile ? *result.extendedProfile : *request.profile;
+
+  result.validation =
+      validateSchedule(gc, result.schedule, result.effectiveDeadline);
+  result.feasible = result.validation.ok;
+  if (result.feasible) result.cost = evaluateCost(gc, profile, result.schedule);
+  return result;
+}
+
+} // namespace cawo

@@ -1,0 +1,91 @@
+#include "core/asap.hpp"
+#include "core/cawosched.hpp"
+#include "solver/builtins.hpp"
+#include "util/require.hpp"
+
+/// \file solvers_core.cpp
+/// Solver adapters over the core algorithm family: the carbon-unaware
+/// ASAP baseline and the 16 CaWoSched heuristics.
+///
+/// CaWoSched options (all optional):
+///   block-size  int   refinement block size k (paper: 3)
+///   ls-radius   int   local-search radius µ   (paper: 10)
+
+namespace cawo {
+
+namespace {
+
+CaWoParams paramsFromOptions(const SolverOptions& options) {
+  CaWoParams params;
+  params.blockSize =
+      static_cast<int>(options.getInt("block-size", params.blockSize));
+  params.lsRadius = options.getInt("ls-radius", params.lsRadius);
+  return params;
+}
+
+class AsapSolver final : public Solver {
+public:
+  SolverInfo info() const override {
+    SolverInfo meta;
+    meta.name = "ASAP";
+    meta.family = "baseline";
+    meta.description =
+        "carbon-unaware baseline: every node starts at its earliest "
+        "possible start time";
+    return meta;
+  }
+
+protected:
+  RawResult doSolve(const SolveRequest& request) const override {
+    RawResult raw;
+    raw.schedule = scheduleAsap(*request.gc);
+    return raw;
+  }
+};
+
+class CaWoSchedSolver final : public Solver {
+public:
+  explicit CaWoSchedSolver(const VariantSpec& spec) : spec_(spec) {}
+
+  SolverInfo info() const override {
+    SolverInfo meta;
+    meta.name = spec_.name();
+    meta.family = "cawosched";
+    meta.description =
+        std::string("CaWoSched heuristic: ") +
+        (spec_.base == BaseScore::Slack ? "slack" : "pressure") + " score" +
+        (spec_.weighted ? ", power-weighted" : "") +
+        (spec_.refined ? ", refined intervals" : "") +
+        (spec_.localSearch ? ", + local search" : "");
+    return meta;
+  }
+
+protected:
+  RawResult doSolve(const SolveRequest& request) const override {
+    RawResult raw;
+    raw.schedule =
+        runVariant(*request.gc, *request.profile, request.deadline, spec_,
+                   paramsFromOptions(request.options));
+    return raw;
+  }
+
+private:
+  VariantSpec spec_;
+};
+
+} // namespace
+
+void registerCoreSolvers(SolverRegistry& registry) {
+  registry.registerFactory(
+      "ASAP", [](const std::string&) -> SolverPtr {
+        return std::make_unique<AsapSolver>();
+      });
+  for (const VariantSpec& variant : allVariants()) {
+    registry.registerFactory(
+        variant.name(), [variant](const std::string&) -> SolverPtr {
+          return std::make_unique<CaWoSchedSolver>(variant);
+        });
+  }
+}
+
+} // namespace cawo

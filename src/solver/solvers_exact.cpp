@@ -1,0 +1,110 @@
+#include "exact/branch_and_bound.hpp"
+#include "exact/single_proc_dp.hpp"
+#include "solver/builtins.hpp"
+#include "util/require.hpp"
+
+/// \file solvers_exact.cpp
+/// Solver adapters over the exact algorithms.
+///
+/// "bnb" — branch-and-bound over integer start times (our Gurobi-ILP
+/// substitute, see DESIGN.md). Options:
+///   max-nodes       int     search-node budget (200'000'000)
+///   time-limit-sec  double  wall-clock budget (120)
+///
+/// "dp" — the polynomial single-processor dynamic program of Theorem 4.1;
+/// requires the enhanced graph to live on exactly one processor. Options:
+///   method  string  "poly" (Lemma 4.2 end-time set, default) or "pseudo"
+///                   (O(n·T) over all integer end times)
+
+namespace cawo {
+
+namespace {
+
+class BnbSolver final : public Solver {
+public:
+  SolverInfo info() const override {
+    SolverInfo meta;
+    meta.name = "bnb";
+    meta.family = "exact";
+    meta.description =
+        "exact branch-and-bound over integer start times (ILP substitute); "
+        "returns the incumbent with provedOptimal=false on budget "
+        "exhaustion";
+    meta.exact = true;
+    return meta;
+  }
+
+protected:
+  RawResult doSolve(const SolveRequest& request) const override {
+    BnbOptions opts;
+    opts.maxNodes = static_cast<std::uint64_t>(request.options.getInt(
+        "max-nodes", static_cast<std::int64_t>(opts.maxNodes)));
+    opts.timeLimitSec =
+        request.options.getDouble("time-limit-sec", opts.timeLimitSec);
+
+    const BnbResult bnb =
+        solveExact(*request.gc, *request.profile, request.deadline, opts);
+
+    RawResult raw;
+    raw.schedule = bnb.schedule;
+    raw.provedOptimal = bnb.provedOptimal;
+    raw.stats["nodes-explored"] =
+        static_cast<std::int64_t>(bnb.nodesExplored);
+    return raw;
+  }
+};
+
+class DpSolver final : public Solver {
+public:
+  SolverInfo info() const override {
+    SolverInfo meta;
+    meta.name = "dp";
+    meta.family = "exact";
+    meta.description =
+        "polynomial single-processor dynamic program (Theorem 4.1); "
+        "requires a single-processor enhanced graph";
+    meta.exact = true;
+    meta.singleProcOnly = true;
+    return meta;
+  }
+
+protected:
+  RawResult doSolve(const SolveRequest& request) const override {
+    const EnhancedGraph& gc = *request.gc;
+    const SingleProcInstance inst = singleProcInstanceFrom(gc);
+
+    const std::string method =
+        request.options.getString("method", "poly");
+    CAWO_REQUIRE(method == "poly" || method == "pseudo",
+                 "dp method must be 'poly' or 'pseudo', got '" + method +
+                     "'");
+    const SingleProcResult dp =
+        method == "poly"
+            ? solveSingleProcPoly(inst, *request.profile, request.deadline)
+            : solveSingleProcPseudo(inst, *request.profile,
+                                    request.deadline);
+
+    RawResult raw;
+    raw.schedule = Schedule(gc.numNodes());
+    const auto order = gc.procOrder(0);
+    CAWO_ASSERT(order.size() == dp.starts.size(),
+                "DP start vector does not match the processor order");
+    for (std::size_t i = 0; i < order.size(); ++i)
+      raw.schedule.setStart(order[i], dp.starts[i]);
+    raw.provedOptimal = true;
+    return raw;
+  }
+};
+
+} // namespace
+
+void registerExactSolvers(SolverRegistry& registry) {
+  registry.registerFactory("bnb", [](const std::string&) -> SolverPtr {
+    return std::make_unique<BnbSolver>();
+  });
+  registry.registerFactory("dp", [](const std::string&) -> SolverPtr {
+    return std::make_unique<DpSolver>();
+  });
+}
+
+} // namespace cawo

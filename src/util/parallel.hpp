@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file parallel.hpp
+/// Shared worker-pool helper: run an index-addressed job list across
+/// hardware threads. Used by the suite runner and the CLI; determinism is
+/// the caller's business (our jobs write to disjoint slots).
+
+namespace cawo {
+
+/// Invoke `fn(i)` for every i in [0, n) on up to `threads` workers
+/// (0 = hardware concurrency). If a job throws, no further jobs are
+/// started and the first exception is rethrown on the calling thread
+/// after all workers have drained.
+template <typename Fn>
+void parallelFor(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(errorMutex);
+        if (!failed.exchange(true)) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+} // namespace cawo

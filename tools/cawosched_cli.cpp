@@ -1,78 +1,105 @@
-// cawosched-cli — schedule a DOT workflow under a CSV green-power profile.
+// cawosched-cli — schedule a DOT workflow under a CSV green-power profile
+// with any solver from the registry.
 //
+//   cawosched-cli --list-algos
 //   cawosched-cli --workflow=flow.dot [--profile=green.csv]
-//                 [--variant=pressWR-LS] [--deadline-factor=2.0]
-//                 [--nodes-per-type=2] [--scenario=S1] [--intervals=24]
-//                 [--green-heft] [--alpha=0.5]
+//                 [--algo=<name|glob|comma list|all>] [--threads=N]
+//                 [--deadline-factor=2.0] [--nodes-per-type=2]
+//                 [--scenario=S1] [--intervals=24] [--alpha=0.5]
+//                 [--block-size=3] [--ls-radius=10]
+//                 [--bnb-max-nodes=N] [--bnb-time-limit=SEC]
 //                 [--out=schedule.csv] [--gantt] [--seed=1]
 //
-// The workflow is HEFT-mapped (or GreenHEFT-mapped with --green-heft) onto
-// a Table 1 cluster, the enhanced graph is built, and the chosen CaWoSched
-// variant runs against the profile. Without --profile a synthetic scenario
-// (--scenario) is generated over exactly the deadline horizon. Prints the
-// ASAP and carbon-aware costs; optionally writes the schedule CSV and an
-// ASCII Gantt chart.
+// The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
+// is built, and every selected solver runs against the profile. Without
+// --profile a synthetic scenario (--scenario) is generated over exactly
+// the deadline horizon. Per-solver diagnostics (carbon cost, wall time,
+// optimality flag, ratio vs ASAP) come from the uniform SolveResult;
+// optionally the best schedule is written as CSV or an ASCII Gantt chart.
+//
+// Legacy spellings are still accepted: --variant=<name> equals
+// --algo=<name>, and --green-heft equals --algo=greenheft.
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/asap.hpp"
 #include "core/carbon_cost.hpp"
-#include "core/cawosched.hpp"
 #include "core/schedule_io.hpp"
-#include "heft/green_heft.hpp"
 #include "heft/heft.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/scenario.hpp"
+#include "sim/table.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
 #include "workflow/dot_io.hpp"
 
+namespace {
+
+using namespace cawo;
+
+int listAlgos() {
+  const SolverRegistry& registry = SolverRegistry::global();
+  TextTable table({"name", "family", "exact", "description"});
+  for (const std::string& name : registry.names()) {
+    const SolverInfo meta = registry.create(name)->info();
+    table.addRow({meta.name, meta.family, meta.exact ? "yes" : "no",
+                  meta.description});
+  }
+  table.print(std::cout);
+  std::cout << "\nselect with --algo=<name>, a glob (\"press*\"), a comma "
+               "list, or \"all\";\nparameterised forms like "
+               "\"greenheft[0.25]\" set the alpha inline.\n";
+  return 0;
+}
+
+/// Outcome of one solver run (or the reason it was skipped).
+struct CliRun {
+  std::string name;
+  bool ran = false;
+  std::string error;
+  SolveResult result;
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
   using namespace cawo;
   try {
-    const CliArgs args(argc, argv,
-                       {"workflow", "profile", "variant", "deadline-factor",
-                        "nodes-per-type", "scenario", "intervals",
-                        "green-heft", "alpha", "out", "gantt", "seed",
-                        "help"});
+    const CliArgs args(
+        argc, argv,
+        {"workflow", "profile", "algo", "variant", "deadline-factor",
+         "nodes-per-type", "scenario", "intervals", "green-heft", "alpha",
+         "block-size", "ls-radius", "bnb-max-nodes", "bnb-time-limit",
+         "threads", "list-algos", "out", "gantt", "seed", "help"});
+
+    if (args.has("list-algos")) return listAlgos();
     if (args.has("help") || !args.has("workflow")) {
-      std::cout << "usage: cawosched-cli --workflow=flow.dot "
-                   "[--profile=green.csv] [--variant=pressWR-LS]\n"
-                   "  [--deadline-factor=2.0] [--nodes-per-type=2] "
-                   "[--scenario=S1|S2|S3|S4]\n"
-                   "  [--intervals=24] [--green-heft] [--alpha=0.5] "
-                   "[--out=schedule.csv] [--gantt]\n";
+      std::cout
+          << "usage: cawosched-cli --workflow=flow.dot "
+             "[--profile=green.csv] [--algo=name|glob|all]\n"
+             "  [--threads=N] [--deadline-factor=2.0] [--nodes-per-type=2] "
+             "[--scenario=S1|S2|S3|S4]\n"
+             "  [--intervals=24] [--alpha=0.5] [--block-size=3] "
+             "[--ls-radius=10]\n"
+             "  [--bnb-max-nodes=N] [--bnb-time-limit=SEC] "
+             "[--out=schedule.csv] [--gantt] [--seed=1]\n"
+             "  cawosched-cli --list-algos\n";
       return args.has("help") ? 0 : 2;
     }
 
-    const TaskGraph workflow =
-        readDotFile(args.getString("workflow", ""));
+    const TaskGraph workflow = readDotFile(args.getString("workflow", ""));
     const Platform cluster = Platform::scaled(
         static_cast<int>(args.getInt("nodes-per-type", 2)));
     const double factor = args.getDouble("deadline-factor", 2.0);
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
 
-    // Pass 1 — mapping and ordering.
-    const HeftResult mapped = [&]() {
-      if (!args.has("green-heft")) return runHeft(workflow, cluster);
-      // GreenHEFT needs a profile up front; bootstrap with a plain-HEFT
-      // horizon estimate when the profile is synthetic.
-      const HeftResult plain = runHeft(workflow, cluster);
-      PowerProfile mapProfile;
-      if (args.has("profile")) {
-        mapProfile = readProfileCsvFile(args.getString("profile", ""));
-      } else {
-        mapProfile = generateScenario(
-            Scenario::S1, std::max<Time>(1, 2 * plain.makespan),
-            cluster.totalIdlePower(), cluster.totalWorkPower(),
-            {static_cast<int>(args.getInt("intervals", 24)), 0.1, seed});
-      }
-      GreenHeftOptions gh;
-      gh.alpha = args.getDouble("alpha", 0.5);
-      return runGreenHeft(workflow, cluster, mapProfile, gh);
-    }();
-
+    // Fixed mapping and ordering from plain HEFT; carbon-aware mapping is
+    // now a solver ("greenheft") rather than a CLI mode.
+    const HeftResult mapped = runHeft(workflow, cluster);
     LinkPowerOptions linkPower;
     linkPower.seed = seed;
     const EnhancedGraph gc = EnhancedGraph::build(
@@ -104,13 +131,61 @@ int main(int argc, char** argv) {
           {static_cast<int>(args.getInt("intervals", 24)), 0.1, seed});
     }
 
-    const VariantSpec variant =
-        VariantSpec::parse(args.getString("variant", "pressWR-LS"));
+    // Solver selection: --algo wins, legacy --variant / --green-heft map
+    // onto it, default is the paper's strongest variant.
+    std::string selection = args.getString("algo", "");
+    if (selection.empty() && args.has("variant"))
+      selection = args.getString("variant", "");
+    if (selection.empty() && args.has("green-heft")) selection = "greenheft";
+    if (selection.empty()) selection = "pressWR-LS";
 
-    const Schedule asap = scheduleAsap(gc);
-    const Cost asapCost = evaluateCost(gc, profile, asap);
-    const Schedule tuned = runVariant(gc, profile, deadline, variant);
-    const Cost tunedCost = evaluateCost(gc, profile, tuned);
+    const SolverRegistry& registry = SolverRegistry::global();
+    const std::vector<std::string> names = registry.select(selection);
+
+    SolverOptions options;
+    // Only forward --alpha when given, so bracketed selections like
+    // --algo=greenheft[0.25] keep their inline parameter.
+    if (args.has("alpha"))
+      options.setDouble("alpha", args.getDouble("alpha", 0.5));
+    options.setInt("block-size", args.getInt("block-size", 3));
+    options.setInt("ls-radius", args.getInt("ls-radius", 10));
+    if (args.has("bnb-max-nodes"))
+      options.setInt("max-nodes", args.getInt("bnb-max-nodes", 0));
+    if (args.has("bnb-time-limit"))
+      options.setDouble("time-limit-sec",
+                        args.getDouble("bnb-time-limit", 120.0));
+    options.setInt("link-seed", static_cast<std::int64_t>(seed));
+
+    SolveRequest request;
+    request.gc = &gc;
+    request.profile = &profile;
+    request.deadline = deadline;
+    request.graph = &workflow;
+    request.platform = &cluster;
+    request.options = options;
+
+    // Run the selection, optionally across threads. Solvers are
+    // independent and deterministic, so the parallelism only affects wall
+    // time, never results.
+    std::vector<CliRun> runs(names.size());
+    const auto threads = static_cast<unsigned>(args.getInt("threads", 1));
+    parallelFor(names.size(), threads, [&](std::size_t i) {
+      runs[i].name = names[i];
+      try {
+        runs[i].result = registry.create(names[i])->solve(request);
+        runs[i].ran = true;
+      } catch (const std::exception& e) {
+        runs[i].error = e.what();
+      }
+    });
+
+    // Reference cost for the ratio column: the selection's own ASAP run if
+    // present, otherwise a dedicated baseline solve.
+    const Cost asapCost = [&]() {
+      for (const CliRun& run : runs)
+        if (run.name == "ASAP" && run.ran) return run.result.cost;
+      return registry.create("ASAP")->solve(request).cost;
+    }();
 
     std::cout << "workflow      : " << workflow.numTasks() << " tasks, "
               << gc.numNodes() - workflow.numTasks()
@@ -118,24 +193,58 @@ int main(int argc, char** argv) {
               << "cluster       : " << cluster.numProcessors()
               << " compute nodes, " << gc.numLinks() << " active links\n"
               << "ASAP makespan : " << d << "  deadline: " << deadline
-              << "\n"
-              << "carbon ASAP   : " << asapCost << "\n"
-              << "carbon " << padRight(variant.name(), 7) << ": "
-              << tunedCost;
-    if (asapCost > 0)
-      std::cout << "  (ratio "
-                << formatFixed(static_cast<double>(tunedCost) /
-                                   static_cast<double>(asapCost),
-                               3)
-                << ")";
-    std::cout << "\n";
+              << "\n\n";
 
-    const std::string out = args.getString("out", "");
-    if (!out.empty()) {
-      writeScheduleCsvFile(out, gc, tuned, &workflow);
-      std::cout << "schedule written to " << out << "\n";
+    TextTable table(
+        {"solver", "carbon cost", "vs ASAP", "wall ms", "optimal"});
+    for (const CliRun& run : runs) {
+      if (!run.ran) {
+        table.addRow({run.name, "-", "-", "-", "skipped"});
+        continue;
+      }
+      const SolveResult& r = run.result;
+      std::string ratio = "-";
+      if (asapCost > 0)
+        ratio = formatFixed(
+            static_cast<double>(r.cost) / static_cast<double>(asapCost), 3);
+      table.addRow({run.name, std::to_string(r.cost), ratio,
+                    formatFixed(r.wallMs, 2),
+                    r.provedOptimal ? "proved" : "-"});
     }
-    if (args.has("gantt")) printGantt(std::cout, gc, tuned, deadline);
+    table.print(std::cout);
+    for (const CliRun& run : runs)
+      if (!run.ran)
+        std::cout << "note: " << run.name << " skipped — " << run.error
+                  << "\n";
+
+    // Export the cheapest feasible schedule. A re-mapping solver's
+    // schedule refers to its own enhanced graph and deadline, so the
+    // export uses the run's effective graph.
+    const CliRun* best = nullptr;
+    for (const CliRun& run : runs) {
+      if (!run.ran || !run.result.feasible) continue;
+      if (best == nullptr || run.result.cost < best->result.cost) best = &run;
+    }
+    const std::string out = args.getString("out", "");
+    if (!out.empty() || args.has("gantt"))
+      CAWO_REQUIRE(best != nullptr,
+                   "no feasible schedule to write — every selected solver "
+                   "failed or was skipped");
+    if (best != nullptr) {
+      const EnhancedGraph& bestGc =
+          best->result.remappedGc ? *best->result.remappedGc : gc;
+      if (!out.empty()) {
+        writeScheduleCsvFile(out, bestGc, best->result.schedule, &workflow);
+        std::cout << "\nschedule of " << best->name << " written to " << out
+                  << (best->result.remappedGc ? " (re-mapped graph)" : "")
+                  << "\n";
+      }
+      if (args.has("gantt")) {
+        std::cout << "\nGantt (" << best->name << "):\n";
+        printGantt(std::cout, bestGc, best->result.schedule,
+                   best->result.effectiveDeadline);
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
