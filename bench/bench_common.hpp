@@ -14,14 +14,22 @@
 //   --algos=SEL      solver selection from the registry: "suite" (ASAP +
 //                    the 16 CaWoSched variants — the paper's figure set),
 //                    "all", a glob, or a comma list (default "suite")
+//   --out=FILE       additionally write the run as a campaign JSON result
+//                    file (one record per instance × solver cell)
 //   --full           paper-leaning preset (--tasks=400 --clusters=2,4
 //                    --seeds=2) — still laptop-sized
+//
+// The figure binaries are thin campaign definitions: they translate this
+// config into a CampaignSpec, run it through the campaign engine
+// (src/exp), and keep only the figure-specific presentation here.
 
 #include <iostream>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "exp/campaign.hpp"
+#include "exp/campaign_runner.hpp"
 #include "sim/instance.hpp"
 #include "sim/runner.hpp"
 #include "sim/stats.hpp"
@@ -38,20 +46,14 @@ struct BenchConfig {
   int numIntervals = 16;
   int seedsPerCell = 1;
   std::uint64_t baseSeed = 1;
-  std::string algos = "suite"; ///< registry selection (see solverNames())
-
-  /// The resolved solver selection: the canonical bench suite by default,
-  /// otherwise whatever registry pattern --algos names.
-  std::vector<std::string> solverNames() const {
-    if (algos == "suite") return suiteSolverNames();
-    return SolverRegistry::global().select(algos);
-  }
+  std::string algos = "suite"; ///< registry selection (see campaign.hpp)
+  std::string out;             ///< campaign JSON result file ("" = none)
 };
 
 inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
                      {"tasks", "clusters", "intervals", "seeds", "seed",
-                      "algos", "full"});
+                      "algos", "out", "full"});
   BenchConfig cfg;
   if (args.has("full")) {
     cfg.tasks = 400;
@@ -64,6 +66,7 @@ inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
   cfg.seedsPerCell = static_cast<int>(args.getInt("seeds", cfg.seedsPerCell));
   cfg.baseSeed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   cfg.algos = args.getString("algos", cfg.algos);
+  cfg.out = args.getString("out", cfg.out);
   if (args.has("clusters")) {
     cfg.clusters.clear();
     for (const std::string& c : split(args.getString("clusters", ""), ','))
@@ -72,38 +75,47 @@ inline BenchConfig parseBenchConfig(int argc, const char* const* argv) {
   return cfg;
 }
 
-/// The paper's instance set: every workflow family on every cluster, each
-/// with all 16 power profiles (4 scenarios × 4 deadline factors).
-inline std::vector<InstanceSpec> benchGrid(const BenchConfig& cfg) {
-  std::vector<InstanceSpec> specs;
-  const WorkflowFamily families[] = {
-      WorkflowFamily::Atacseq, WorkflowFamily::Bacass, WorkflowFamily::Eager,
-      WorkflowFamily::Methylseq};
-  for (const WorkflowFamily family : families) {
-    // bacass is the small real-world pipeline in the paper.
-    const int tasks =
-        family == WorkflowFamily::Bacass ? std::max(20, cfg.tasks / 3)
-                                         : cfg.tasks;
-    for (const int cluster : cfg.clusters) {
-      for (int s = 0; s < cfg.seedsPerCell; ++s) {
-        for (InstanceSpec spec :
-             fullGrid(family, tasks, cluster,
-                      cfg.baseSeed + static_cast<std::uint64_t>(s) * 1000,
-                      cfg.numIntervals)) {
-          specs.push_back(spec);
-        }
-      }
-    }
-  }
-  return specs;
+/// The paper's grid as a campaign: every workflow family on every cluster,
+/// each with all 16 power profiles (4 scenarios × 4 deadline factors);
+/// bacass — the small real-world pipeline — is scaled to a third of the
+/// base task count. Figure binaries tweak the returned spec (families,
+/// task axis) and hand it to runBenchCampaign.
+inline CampaignSpec benchCampaign(const BenchConfig& cfg,
+                                  const std::string& name) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.families = {WorkflowFamily::Atacseq, WorkflowFamily::Bacass,
+                   WorkflowFamily::Eager, WorkflowFamily::Methylseq};
+  spec.tasks = {cfg.tasks};
+  spec.bacassTasks = std::max(20, cfg.tasks / 3);
+  spec.nodesPerType = cfg.clusters;
+  // scenarios / deadline factors keep the paper defaults (S1–S4 × 4).
+  spec.seeds.clear();
+  for (int s = 0; s < cfg.seedsPerCell; ++s)
+    spec.seeds.push_back(cfg.baseSeed + static_cast<std::uint64_t>(s) * 1000);
+  spec.numIntervals = cfg.numIntervals;
+  spec.algos = cfg.algos;
+  return spec;
 }
 
+/// Run a campaign for a figure binary: announce the size, execute, and
+/// honour --out by writing the JSON result file next to the figure text.
+inline CampaignOutcome runBenchCampaign(const CampaignSpec& spec,
+                                        const BenchConfig& cfg) {
+  std::cout << "running " << spec.cellCount() << " instances × "
+            << campaignSolverNames(spec).size() << " solvers ...\n";
+  CampaignOutcome outcome = runCampaign(spec);
+  if (!cfg.out.empty()) {
+    writeCampaignJsonFile(cfg.out, outcome);
+    std::cout << "campaign records written to " << cfg.out << "\n";
+  }
+  return outcome;
+}
+
+/// Compatibility shim for the figure binaries that only need the
+/// suite-style per-instance results.
 inline std::vector<InstanceResult> runBenchGrid(const BenchConfig& cfg) {
-  const auto specs = benchGrid(cfg);
-  const auto solvers = cfg.solverNames();
-  std::cout << "running " << specs.size() << " instances × "
-            << solvers.size() << " solvers ...\n";
-  return runSuite(specs, solvers);
+  return runBenchCampaign(benchCampaign(cfg, "bench-grid"), cfg).results;
 }
 
 /// Median cost ratio vs ASAP (index 0) for every CaWoSched variant.

@@ -4,6 +4,10 @@
 // at the beginning; ASAP is relatively stronger on S2 (green at the start)
 // and S4 (constant).
 
+// The figure is a thin campaign definition over the paper grid; the
+// scenario split is also available as the campaign summary's per-scenario
+// median ratios (--out=results.json, "median_ratio_by_scenario").
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -11,7 +15,9 @@ int main(int argc, char** argv) {
   using namespace cawo::bench;
 
   const BenchConfig cfg = parseBenchConfig(argc, argv);
-  const auto results = runBenchGrid(cfg);
+  const CampaignOutcome outcome =
+      runBenchCampaign(benchCampaign(cfg, "fig15-by-scenario"), cfg);
+  const std::vector<InstanceResult>& results = outcome.results;
 
   for (const Scenario scenario :
        {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {

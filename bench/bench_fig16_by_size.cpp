@@ -12,31 +12,30 @@ int main(int argc, char** argv) {
 
   BenchConfig cfg = parseBenchConfig(argc, argv);
 
-  // Three size classes around the configured base size.
+  // Three size classes around the configured base size; the figure is a
+  // thin campaign whose task axis lists one size per class.
   const std::vector<std::pair<std::string, int>> classes = {
       {"small", std::max(20, cfg.tasks / 3)},
       {"medium", cfg.tasks},
       {"large", cfg.tasks * 3},
   };
 
-  std::vector<InstanceSpec> specs;
-  for (const auto& [className, tasks] : classes) {
-    for (const WorkflowFamily family :
-         {WorkflowFamily::Atacseq, WorkflowFamily::Eager,
-          WorkflowFamily::Methylseq}) {
-      for (const int cluster : cfg.clusters)
-        for (InstanceSpec spec :
-             fullGrid(family, tasks, cluster, cfg.baseSeed, cfg.numIntervals))
-          specs.push_back(spec);
-    }
-  }
-  std::cout << "running " << specs.size() << " instances ...\n";
-  const auto results = runSuite(specs);
+  CampaignSpec campaign = benchCampaign(cfg, "fig16-by-size");
+  campaign.families = {WorkflowFamily::Atacseq, WorkflowFamily::Eager,
+                       WorkflowFamily::Methylseq};
+  campaign.bacassTasks = 0;
+  campaign.tasks.clear();
+  for (const auto& [className, tasks] : classes)
+    campaign.tasks.push_back(tasks);
+  campaign.seeds = {cfg.baseSeed};
+
+  const CampaignOutcome outcome = runBenchCampaign(campaign, cfg);
 
   for (const auto& [className, tasks] : classes) {
-    const auto subset = filterResults(results, [&](const InstanceSpec& s) {
-      return s.targetTasks == tasks;
-    });
+    const auto subset =
+        filterResults(outcome.results, [&](const InstanceSpec& s) {
+          return s.targetTasks == tasks;
+        });
     if (subset.empty()) continue;
     const CostMatrix m = toCostMatrix(subset);
     printHeading(std::cout, "Figure 16 — median cost ratio vs ASAP, " +

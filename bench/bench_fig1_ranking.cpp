@@ -6,7 +6,9 @@
 //
 // The solver set comes from the registry: the default --algos=suite is
 // the paper's figure set (ASAP + 16 variants); pass e.g.
-// --algos=ASAP,press*,greenheft to rank any registered selection.
+// --algos=ASAP,press*,greenheft to rank any registered selection. The
+// figure is a thin campaign definition: --out=results.json dumps the raw
+// (instance, solver) records the table is computed from.
 
 #include "bench_common.hpp"
 
@@ -15,8 +17,9 @@ int main(int argc, char** argv) {
   using namespace cawo::bench;
 
   const BenchConfig cfg = parseBenchConfig(argc, argv);
-  const auto results = runBenchGrid(cfg);
-  const CostMatrix m = toCostMatrix(results);
+  const CampaignOutcome outcome =
+      runBenchCampaign(benchCampaign(cfg, "fig1-ranking"), cfg);
+  const CostMatrix m = toCostMatrix(outcome.results);
   const auto counts = rankDistribution(m);
   const auto total = static_cast<double>(m.numInstances());
 

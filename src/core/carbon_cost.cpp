@@ -92,6 +92,21 @@ Cost evaluateCostReference(const EnhancedGraph& gc, const PowerProfile& profile,
   return total;
 }
 
+Cost carbonLowerBound(const EnhancedGraph& gc, const PowerProfile& profile) {
+  const Cost idleFloor = profile.idleFloorCost(gc.totalIdlePower());
+
+  Cost totalDemand =
+      static_cast<Cost>(gc.totalIdlePower()) * profile.horizon();
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    totalDemand += static_cast<Cost>(gc.workPower(gc.procOf(u))) * gc.len(u);
+  Cost totalGreen = 0;
+  for (const Interval& interval : profile.intervals())
+    totalGreen += static_cast<Cost>(interval.green) * interval.length();
+
+  const Cost balance = totalDemand > totalGreen ? totalDemand - totalGreen : 0;
+  return std::max(idleFloor, balance);
+}
+
 CostBreakdown evaluateCostBreakdown(const EnhancedGraph& gc,
                                     const PowerProfile& profile,
                                     const Schedule& s) {

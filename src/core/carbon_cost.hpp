@@ -44,4 +44,15 @@ CostBreakdown evaluateCostBreakdown(const EnhancedGraph& gc,
                                     const PowerProfile& profile,
                                     const Schedule& s);
 
+/// Schedule-independent lower bound on the carbon cost of *any* complete
+/// schedule within the profile horizon: the maximum of
+///   (a) the idle floor Σ_t max(Σ_i P_idle^i − G_t, 0) — the platform draws
+///       at least its idle power at every time unit; and
+///   (b) the energy balance max(E_total − E_green, 0) with
+///       E_total = Σ_i P_idle^i · T + Σ_u P_work^{proc(u)} · ω(u) and
+///       E_green = Σ_j G_j · |I_j| — total demand is schedule-independent
+///       and green energy can at best be used in full.
+/// Used by the campaign engine to report per-instance optimality gaps.
+Cost carbonLowerBound(const EnhancedGraph& gc, const PowerProfile& profile);
+
 } // namespace cawo

@@ -1,0 +1,281 @@
+#include "exp/campaign.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "exp/json.hpp"
+#include "sim/runner.hpp"
+#include "solver/registry.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+namespace {
+
+std::vector<std::string> splitList(const std::string& value) {
+  std::vector<std::string> items;
+  for (const std::string& part : split(value, ',')) {
+    const std::string item{trim(part)};
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+int parseIntStrict(const std::string& key, const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
+               "campaign key \"" + key + "\": \"" + token +
+                   "\" is not an integer");
+  // Never truncate: a wrapped value would silently run a different
+  // experiment than the one requested.
+  CAWO_REQUIRE(v >= std::numeric_limits<int>::min() &&
+                   v <= std::numeric_limits<int>::max(),
+               "campaign key \"" + key + "\": \"" + token +
+                   "\" is out of range");
+  return static_cast<int>(v);
+}
+
+std::uint64_t parseUint64Strict(const std::string& key,
+                                const std::string& token) {
+  CAWO_REQUIRE(!token.empty() && token[0] != '-',
+               "campaign key \"" + key + "\": \"" + token +
+                   "\" must be a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
+               "campaign key \"" + key + "\": \"" + token +
+                   "\" is not a valid 64-bit seed");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parseDoubleStrict(const std::string& key, const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0',
+               "campaign key \"" + key + "\": \"" + token +
+                   "\" is not a number");
+  return v;
+}
+
+std::vector<std::string> nonEmptyList(const std::string& key,
+                                      const std::string& value) {
+  const std::vector<std::string> items = splitList(value);
+  CAWO_REQUIRE(!items.empty(),
+               "campaign key \"" + key +
+                   "\" has an empty value — an empty axis would erase the "
+                   "whole cross-product");
+  return items;
+}
+
+} // namespace
+
+std::size_t CampaignSpec::cellCount() const {
+  std::size_t tasksAxis = 0;
+  for (const WorkflowFamily family : families) {
+    if (family == WorkflowFamily::Bacass && bacassTasks > 0) tasksAxis += 1;
+    else tasksAxis += tasks.size();
+  }
+  return tasksAxis * nodesPerType.size() * seeds.size() * scenarios.size() *
+         deadlineFactors.size();
+}
+
+void setCampaignKey(CampaignSpec& spec, const std::string& key,
+                    const std::string& value) {
+  if (key == "name") {
+    const std::string trimmed{trim(value)};
+    CAWO_REQUIRE(!trimmed.empty(), "campaign key \"name\" has an empty value");
+    spec.name = trimmed;
+  } else if (key == "families") {
+    // Every list key parses into a local first, so a rejected value never
+    // leaves the spec with a half-cleared axis.
+    std::vector<WorkflowFamily> families;
+    for (const std::string& item : nonEmptyList(key, value))
+      families.push_back(familyFromName(item));
+    spec.families = std::move(families);
+  } else if (key == "tasks") {
+    std::vector<int> tasks;
+    for (const std::string& item : nonEmptyList(key, value)) {
+      const int n = parseIntStrict(key, item);
+      CAWO_REQUIRE(n > 0, "campaign key \"tasks\": sizes must be positive");
+      tasks.push_back(n);
+    }
+    spec.tasks = std::move(tasks);
+  } else if (key == "bacass-tasks") {
+    const int n = parseIntStrict(key, std::string{trim(value)});
+    CAWO_REQUIRE(n >= 0,
+                 "campaign key \"bacass-tasks\" must be >= 0 (0 = use the "
+                 "tasks axis)");
+    spec.bacassTasks = n;
+  } else if (key == "nodes-per-type") {
+    std::vector<int> nodes;
+    for (const std::string& item : nonEmptyList(key, value)) {
+      const int n = parseIntStrict(key, item);
+      CAWO_REQUIRE(n > 0,
+                   "campaign key \"nodes-per-type\": sizes must be positive");
+      nodes.push_back(n);
+    }
+    spec.nodesPerType = std::move(nodes);
+  } else if (key == "scenarios") {
+    std::vector<Scenario> scenarios;
+    const std::vector<std::string> items = nonEmptyList(key, value);
+    if (items.size() == 1 && items[0] == "all") {
+      scenarios = {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4};
+    } else {
+      for (const std::string& item : items)
+        scenarios.push_back(scenarioFromName(item));
+    }
+    spec.scenarios = std::move(scenarios);
+  } else if (key == "deadline-factors") {
+    std::vector<double> factors;
+    for (const std::string& item : nonEmptyList(key, value)) {
+      const double f = parseDoubleStrict(key, item);
+      CAWO_REQUIRE(f >= 1.0,
+                   "campaign key \"deadline-factors\": factors below 1.0 are "
+                   "infeasible by definition of D");
+      factors.push_back(f);
+    }
+    spec.deadlineFactors = std::move(factors);
+  } else if (key == "seeds") {
+    std::vector<std::uint64_t> seeds;
+    for (const std::string& item : nonEmptyList(key, value))
+      seeds.push_back(parseUint64Strict(key, item));
+    spec.seeds = std::move(seeds);
+  } else if (key == "intervals") {
+    const int intervals = parseIntStrict(key, std::string{trim(value)});
+    CAWO_REQUIRE(intervals > 0, "campaign key \"intervals\" must be positive");
+    spec.numIntervals = intervals;
+  } else if (key == "algos") {
+    const std::string trimmed{trim(value)};
+    CAWO_REQUIRE(!trimmed.empty(),
+                 "campaign key \"algos\" has an empty value");
+    spec.algos = trimmed;
+  } else if (key == "threads") {
+    const int t = parseIntStrict(key, std::string{trim(value)});
+    CAWO_REQUIRE(t >= 0, "campaign key \"threads\" must be >= 0");
+    spec.threads = static_cast<unsigned>(t);
+  } else {
+    CAWO_REQUIRE(false,
+                 "unknown campaign key \"" + key +
+                     "\" (known: name, families, tasks, bacass-tasks, "
+                     "nodes-per-type, scenarios, deadline-factors, seeds, "
+                     "intervals, algos, threads)");
+  }
+}
+
+namespace {
+
+/// Apply one member of a JSON campaign object: scalars are stringified,
+/// arrays are joined into the comma-list form, then routed through
+/// `setCampaignKey` like every other input surface.
+void setCampaignKeyJson(CampaignSpec& spec, const std::string& key,
+                        const JsonValue& value) {
+  auto scalarToString = [&](const JsonValue& v) -> std::string {
+    switch (v.kind()) {
+      case JsonValue::Kind::String: return v.asString();
+      case JsonValue::Kind::Number:
+        return v.isInteger() ? std::to_string(v.asInt())
+                             : jsonNumber(v.asDouble());
+      default:
+        CAWO_REQUIRE(false, "campaign key \"" + key +
+                                "\": expected a string, number or array");
+        return {};
+    }
+  };
+  if (value.kind() == JsonValue::Kind::Array) {
+    std::string joined;
+    for (const JsonValue& item : value.asArray()) {
+      if (!joined.empty()) joined += ",";
+      joined += scalarToString(item);
+    }
+    setCampaignKey(spec, key, joined);
+  } else {
+    setCampaignKey(spec, key, scalarToString(value));
+  }
+}
+
+} // namespace
+
+CampaignSpec parseCampaignText(const std::string& text) {
+  CampaignSpec spec;
+  const std::string_view body = trim(text);
+  if (!body.empty() && body.front() == '{') {
+    const JsonValue doc = JsonValue::parse(text);
+    for (const std::string& key : doc.objectKeys())
+      setCampaignKeyJson(spec, key, doc.at(key));
+    return spec;
+  }
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto eq = stripped.find('=');
+    CAWO_REQUIRE(eq != std::string_view::npos,
+                 "campaign file line " + std::to_string(lineNo) +
+                     ": expected \"key = value\", got \"" + line + "\"");
+    const std::string key{trim(stripped.substr(0, eq))};
+    const std::string value{trim(stripped.substr(eq + 1))};
+    CAWO_REQUIRE(!key.empty(), "campaign file line " + std::to_string(lineNo) +
+                                   ": missing key before '='");
+    setCampaignKey(spec, key, value);
+  }
+  return spec;
+}
+
+CampaignSpec parseCampaignFile(const std::string& path) {
+  std::ifstream in(path);
+  CAWO_REQUIRE(in.good(), "cannot open campaign file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseCampaignText(buffer.str());
+}
+
+std::vector<std::string> campaignSolverNames(const CampaignSpec& spec) {
+  if (spec.algos == "suite") return suiteSolverNames();
+  return SolverRegistry::global().select(spec.algos);
+}
+
+std::vector<InstanceSpec> expandCampaign(const CampaignSpec& spec) {
+  CAWO_REQUIRE(!spec.families.empty() && !spec.tasks.empty() &&
+                   !spec.nodesPerType.empty() && !spec.scenarios.empty() &&
+                   !spec.deadlineFactors.empty() && !spec.seeds.empty(),
+               "campaign has an empty axis");
+  std::vector<InstanceSpec> specs;
+  specs.reserve(spec.cellCount());
+  for (const WorkflowFamily family : spec.families) {
+    std::vector<int> taskAxis = spec.tasks;
+    if (family == WorkflowFamily::Bacass && spec.bacassTasks > 0)
+      taskAxis = {spec.bacassTasks};
+    for (const int tasks : taskAxis) {
+      for (const int cluster : spec.nodesPerType) {
+        for (const std::uint64_t seed : spec.seeds) {
+          for (const Scenario scenario : spec.scenarios) {
+            for (const double factor : spec.deadlineFactors) {
+              InstanceSpec cell;
+              cell.family = family;
+              cell.targetTasks = tasks;
+              cell.nodesPerType = cluster;
+              cell.scenario = scenario;
+              cell.deadlineFactor = factor;
+              cell.numIntervals = spec.numIntervals;
+              cell.seed = seed;
+              specs.push_back(cell);
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+} // namespace cawo

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/scenario.hpp"
+#include "sim/instance.hpp"
+#include "workflow/generators.hpp"
+
+/// \file campaign.hpp
+/// Declarative description of an experiment campaign (see docs/formats.md).
+///
+/// A `CampaignSpec` lists the axes of the paper's Section 6 cross-product —
+/// workflow families, task counts, cluster sizes, power scenarios, deadline
+/// factors and seeds — plus a `SolverRegistry` selection string. Expanding
+/// the spec yields one `InstanceSpec` per cell; the `CampaignRunner`
+/// (campaign_runner.hpp) executes the cells and emits JSON records.
+///
+/// Specs are written either as key=value text (one `key = a, b, c` per
+/// line, `#` comments) or as a JSON object with the same keys; both forms
+/// and the CLI `--key=value` overrides funnel through `setCampaignKey`, so
+/// every surface accepts exactly the same vocabulary.
+
+namespace cawo {
+
+/// The axes of one experiment campaign. Defaults reproduce a scaled-down
+/// version of the paper's grid: all four scenarios × the four deadline
+/// factors on one atacseq workflow.
+struct CampaignSpec {
+  /// Campaign label, echoed into the JSON result file.
+  std::string name = "campaign";
+
+  /// Workflow families to sweep (axis `families`).
+  std::vector<WorkflowFamily> families{WorkflowFamily::Atacseq};
+  /// Approximate task counts per family (axis `tasks`).
+  std::vector<int> tasks{200};
+  /// Override for the bacass family (the paper's small real-world
+  /// pipeline): when > 0, bacass instances use this single size instead of
+  /// the `tasks` axis (key `bacass-tasks`).
+  int bacassTasks = 0;
+
+  /// Cluster sizes as nodes per Table-1 processor type (axis
+  /// `nodes-per-type`; paper: 12 and 24).
+  std::vector<int> nodesPerType{2};
+  /// Power-profile scenarios (axis `scenarios`; `all` = S1–S4).
+  std::vector<Scenario> scenarios{Scenario::S1, Scenario::S2, Scenario::S3,
+                                  Scenario::S4};
+  /// Deadline factors relative to the ASAP makespan D (axis
+  /// `deadline-factors`; paper: 1.0, 1.5, 2.0, 3.0).
+  std::vector<double> deadlineFactors{1.0, 1.5, 2.0, 3.0};
+  /// RNG seeds — one full sub-grid per seed (axis `seeds`).
+  std::vector<std::uint64_t> seeds{1};
+
+  /// Power-profile intervals per instance (key `intervals`).
+  int numIntervals = 24;
+
+  /// Registry selection string (key `algos`): `suite` (ASAP + the 16
+  /// CaWoSched variants), `all`, exact names, globs, bracket parameters,
+  /// or a comma list — see SolverRegistry::select.
+  std::string algos = "suite";
+
+  /// Worker threads for the runner (key `threads`; 0 = hardware).
+  unsigned threads = 0;
+
+  /// Number of cells in the cross-product (== expandCampaign().size()).
+  std::size_t cellCount() const;
+};
+
+/// Apply one `key = value` assignment to the spec. List-valued keys take
+/// comma-separated values; an empty list is rejected (an empty axis would
+/// silently erase the whole campaign). Throws PreconditionError on unknown
+/// keys or malformed values.
+void setCampaignKey(CampaignSpec& spec, const std::string& key,
+                    const std::string& value);
+
+/// Parse a campaign from text: a JSON object when the first non-space
+/// character is '{', otherwise key=value lines (blank lines and `#`
+/// comments ignored). Throws PreconditionError on malformed input.
+CampaignSpec parseCampaignText(const std::string& text);
+
+/// Read and parse a campaign file; throws on I/O errors.
+CampaignSpec parseCampaignFile(const std::string& path);
+
+/// Resolve the spec's solver selection against the global registry.
+/// Throws PreconditionError when the selection matches nothing.
+std::vector<std::string> campaignSolverNames(const CampaignSpec& spec);
+
+/// Expand the cross-product into instance specs, ordered
+/// family → tasks → nodes-per-type → seed → scenario → deadline factor
+/// (the bench-grid order, so figures keep their instance ordering).
+std::vector<InstanceSpec> expandCampaign(const CampaignSpec& spec);
+
+} // namespace cawo

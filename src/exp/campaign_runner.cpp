@@ -1,0 +1,354 @@
+#include "exp/campaign_runner.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "core/carbon_cost.hpp"
+#include "exp/json.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "solver/registry.hpp"
+#include "util/parallel.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+namespace {
+
+constexpr const char* kSchemaId = "cawosched-campaign-v1";
+
+double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+
+/// Solve every selected solver on one built instance and fill both the
+/// suite-compatible InstanceResult and the campaign records. The solve
+/// path mirrors runSolversOnInstance exactly (same SolveRequest fields,
+/// same skip rule), so campaign costs match the suite runner bit for bit.
+void runInstanceCell(const Instance& instance,
+                     const std::vector<std::string>& solvers,
+                     const SolverOptions& options, InstanceResult& result,
+                     CampaignRecord* records) {
+  CAWO_REQUIRE(!solvers.empty(), "campaign has no solvers selected");
+  result.spec = instance.spec;
+  result.deadline = instance.deadline;
+  result.numNodes = instance.gc.numNodes();
+  result.runs.reserve(solvers.size());
+
+  SolveRequest request;
+  request.gc = &instance.gc;
+  request.profile = &instance.profile;
+  request.deadline = instance.deadline;
+  request.graph = &instance.graph;
+  request.platform = &instance.platform;
+  request.options = options;
+
+  const Cost lowerBound = carbonLowerBound(instance.gc, instance.profile);
+
+  const SolverRegistry& registry = SolverRegistry::global();
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    CampaignRecord& record = records[s];
+    record.spec = instance.spec;
+    record.instance = instance.spec.label();
+    record.deadline = instance.deadline;
+    record.asapMakespanD = instance.asapMakespanD;
+    record.numNodes = instance.gc.numNodes();
+    record.lowerBound = lowerBound;
+    record.solver = solvers[s];
+    record.ratioVsBaseline = quietNaN();
+
+    const SolverPtr solver = registry.create(solvers[s]);
+    if (!solverFitsInstance(solver->info(), instance)) {
+      record.skipped = true;
+      continue;
+    }
+    const SolveResult solved = solver->solve(request);
+    record.cost = solved.cost;
+    record.wallMs = solved.wallMs;
+    record.feasible = solved.feasible;
+    record.provedOptimal = solved.provedOptimal;
+    result.runs.push_back(
+        {solvers[s], solved.cost, solved.wallMs, solved.provedOptimal});
+  }
+
+  // Ratios against the baseline — the first selected solver
+  // (conventionally ASAP). Undefined ratios stay NaN → null in JSON.
+  const CampaignRecord& baseline = records[0];
+  const bool baselineValid = !baseline.skipped && baseline.feasible;
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    CampaignRecord& record = records[s];
+    if (record.skipped || !baselineValid) continue;
+    record.hasBaseline = true;
+    record.baselineCost = baseline.cost;
+    if (!record.feasible) continue; // the cost of a broken schedule is noise
+    if (baseline.cost > 0) {
+      record.ratioVsBaseline = static_cast<double>(record.cost) /
+                               static_cast<double>(baseline.cost);
+    } else if (record.cost == 0) {
+      record.ratioVsBaseline = 1.0; // 0/0: both hit the green optimum
+    }
+  }
+}
+
+std::vector<Scenario> distinctScenarios(const CampaignSpec& spec) {
+  std::vector<Scenario> out;
+  for (const Scenario s :
+       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
+    for (const Scenario have : spec.scenarios) {
+      if (have == s) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SolverSummary> summarise(const CampaignOutcome& outcome) {
+  const std::size_t S = outcome.solvers.size();
+  const std::size_t I = outcome.records.size() / std::max<std::size_t>(S, 1);
+  std::vector<SolverSummary> summaries(S);
+
+  // Per-instance minimum over the cells that ran *feasibly* (for win
+  // counting): an infeasible solve's cost is meaningless and must not
+  // claim wins or drag the aggregates.
+  std::vector<Cost> minCost(I, std::numeric_limits<Cost>::max());
+  for (std::size_t i = 0; i < I; ++i)
+    for (std::size_t s = 0; s < S; ++s) {
+      const CampaignRecord& r = outcome.records[i * S + s];
+      if (!r.skipped && r.feasible && r.cost < minCost[i]) minCost[i] = r.cost;
+    }
+
+  for (std::size_t s = 0; s < S; ++s) {
+    SolverSummary& summary = summaries[s];
+    summary.solver = outcome.solvers[s];
+    std::vector<double> ratios;
+    std::vector<std::vector<double>> byScenario(outcome.scenarios.size());
+    for (std::size_t i = 0; i < I; ++i) {
+      const CampaignRecord& r = outcome.records[i * S + s];
+      if (r.skipped) continue;
+      ++summary.instances;
+      summary.totalWallMs += r.wallMs;
+      if (r.feasible && r.cost == minCost[i]) ++summary.wins;
+      if (!std::isnan(r.ratioVsBaseline)) {
+        ratios.push_back(r.ratioVsBaseline);
+        for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc)
+          if (outcome.scenarios[sc] == r.spec.scenario)
+            byScenario[sc].push_back(r.ratioVsBaseline);
+      }
+    }
+    summary.medianRatio = ratios.empty() ? quietNaN() : medianOf(ratios);
+    summary.meanRatio = ratios.empty() ? quietNaN() : meanOf(ratios);
+    summary.medianRatioByScenario.resize(outcome.scenarios.size());
+    for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc)
+      summary.medianRatioByScenario[sc] =
+          byScenario[sc].empty() ? quietNaN() : medianOf(byScenario[sc]);
+  }
+  return summaries;
+}
+
+} // namespace
+
+CampaignOutcome runCampaign(const CampaignSpec& spec,
+                            const SolverOptions& options,
+                            const CampaignProgress& progress) {
+  CampaignOutcome outcome;
+  outcome.spec = spec;
+  outcome.solvers = campaignSolverNames(spec);
+  outcome.scenarios = distinctScenarios(spec);
+
+  const std::vector<InstanceSpec> instances = expandCampaign(spec);
+  const std::size_t S = outcome.solvers.size();
+  const std::size_t totalCells = instances.size() * S;
+  outcome.results.resize(instances.size());
+  outcome.records.resize(totalCells);
+
+  std::atomic<std::size_t> done{0};
+  parallelFor(instances.size(), spec.threads, [&](std::size_t i) {
+    const Instance instance = buildInstance(instances[i]);
+    runInstanceCell(instance, outcome.solvers, options, outcome.results[i],
+                    outcome.records.data() + i * S);
+    if (progress) progress(done.fetch_add(S) + S, totalCells);
+  });
+
+  outcome.summaries = summarise(outcome);
+  return outcome;
+}
+
+namespace {
+
+void writeRecord(JsonWriter& w, const CampaignRecord& r) {
+  w.compactNext();
+  w.beginObject();
+  w.key("instance").value(r.instance);
+  w.key("family").value(familyName(r.spec.family));
+  w.key("tasks").value(r.spec.targetTasks);
+  w.key("nodes_per_type").value(r.spec.nodesPerType);
+  w.key("scenario").value(scenarioName(r.spec.scenario));
+  w.key("deadline_factor").value(r.spec.deadlineFactor);
+  w.key("seed").value(static_cast<std::uint64_t>(r.spec.seed));
+  w.key("intervals").value(r.spec.numIntervals);
+  w.key("deadline").value(static_cast<std::int64_t>(r.deadline));
+  w.key("asap_makespan").value(static_cast<std::int64_t>(r.asapMakespanD));
+  w.key("num_nodes").value(static_cast<std::int64_t>(r.numNodes));
+  w.key("solver").value(r.solver);
+  if (r.skipped) {
+    w.key("cost").null();
+    w.key("wall_ms").null();
+  } else {
+    w.key("cost").value(static_cast<std::int64_t>(r.cost));
+    w.key("wall_ms").value(r.wallMs);
+  }
+  w.key("lower_bound").value(static_cast<std::int64_t>(r.lowerBound));
+  if (!r.hasBaseline) w.key("baseline_cost").null();
+  else w.key("baseline_cost").value(static_cast<std::int64_t>(r.baselineCost));
+  if (std::isnan(r.ratioVsBaseline)) w.key("ratio_vs_baseline").null();
+  else w.key("ratio_vs_baseline").value(r.ratioVsBaseline);
+  w.key("feasible").value(r.feasible);
+  w.key("proved_optimal").value(r.provedOptimal);
+  w.key("skipped").value(r.skipped);
+  w.endObject();
+}
+
+void writeSummary(JsonWriter& w, const CampaignOutcome& outcome,
+                  const SolverSummary& s) {
+  w.compactNext();
+  w.beginObject();
+  w.key("solver").value(s.solver);
+  w.key("instances").value(s.instances);
+  w.key("wins").value(s.wins);
+  if (std::isnan(s.medianRatio)) w.key("median_ratio").null();
+  else w.key("median_ratio").value(s.medianRatio);
+  if (std::isnan(s.meanRatio)) w.key("mean_ratio").null();
+  else w.key("mean_ratio").value(s.meanRatio);
+  w.key("total_wall_ms").value(s.totalWallMs);
+  w.key("median_ratio_by_scenario");
+  w.beginObject();
+  for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc) {
+    w.key(scenarioName(outcome.scenarios[sc]));
+    if (std::isnan(s.medianRatioByScenario[sc])) w.null();
+    else w.value(s.medianRatioByScenario[sc]);
+  }
+  w.endObject();
+  w.endObject();
+}
+
+} // namespace
+
+void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
+  const CampaignSpec& spec = outcome.spec;
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value(kSchemaId);
+
+  w.key("campaign");
+  w.beginObject();
+  w.key("name").value(spec.name);
+  w.key("families");
+  w.compactNext();
+  w.beginArray();
+  for (const WorkflowFamily f : spec.families) w.value(familyName(f));
+  w.endArray();
+  w.key("tasks");
+  w.compactNext();
+  w.beginArray();
+  for (const int t : spec.tasks) w.value(t);
+  w.endArray();
+  w.key("bacass_tasks").value(spec.bacassTasks);
+  w.key("nodes_per_type");
+  w.compactNext();
+  w.beginArray();
+  for (const int n : spec.nodesPerType) w.value(n);
+  w.endArray();
+  w.key("scenarios");
+  w.compactNext();
+  w.beginArray();
+  for (const Scenario s : spec.scenarios) w.value(scenarioName(s));
+  w.endArray();
+  w.key("deadline_factors");
+  w.compactNext();
+  w.beginArray();
+  for (const double f : spec.deadlineFactors) w.value(f);
+  w.endArray();
+  w.key("seeds");
+  w.compactNext();
+  w.beginArray();
+  for (const std::uint64_t s : spec.seeds) w.value(s);
+  w.endArray();
+  w.key("intervals").value(spec.numIntervals);
+  w.key("algos").value(spec.algos);
+  w.key("solvers");
+  w.compactNext();
+  w.beginArray();
+  for (const std::string& s : outcome.solvers) w.value(s);
+  w.endArray();
+  w.key("num_instances")
+      .value(static_cast<std::int64_t>(outcome.results.size()));
+  w.endObject();
+
+  w.key("records");
+  w.beginArray();
+  for (const CampaignRecord& r : outcome.records) writeRecord(w, r);
+  w.endArray();
+
+  w.key("summary");
+  w.beginArray();
+  for (const SolverSummary& s : outcome.summaries)
+    writeSummary(w, outcome, s);
+  w.endArray();
+
+  w.endObject();
+  out << '\n';
+}
+
+std::string toCampaignJsonString(const CampaignOutcome& outcome) {
+  std::ostringstream out;
+  writeCampaignJson(out, outcome);
+  return out.str();
+}
+
+void writeCampaignJsonFile(const std::string& path,
+                           const CampaignOutcome& outcome) {
+  std::ofstream out(path);
+  CAWO_REQUIRE(out.good(), "cannot open result file for writing: " + path);
+  writeCampaignJson(out, outcome);
+  CAWO_REQUIRE(out.good(), "failed writing result file: " + path);
+}
+
+void printCampaignSummary(std::ostream& out, const CampaignOutcome& outcome,
+                          bool perScenario) {
+  const auto fmt = [](double v) {
+    return std::isnan(v) ? std::string("-") : formatFixed(v, 3);
+  };
+
+  printHeading(out, "campaign \"" + outcome.spec.name + "\" — " +
+                        std::to_string(outcome.results.size()) +
+                        " instances × " +
+                        std::to_string(outcome.solvers.size()) + " solvers");
+  TextTable table({"solver", "instances", "wins", "median ratio",
+                   "mean ratio", "total ms"});
+  for (const SolverSummary& s : outcome.summaries)
+    table.addRow({s.solver, std::to_string(s.instances),
+                  std::to_string(s.wins), fmt(s.medianRatio),
+                  fmt(s.meanRatio), formatFixed(s.totalWallMs, 1)});
+  table.print(out);
+
+  if (!perScenario || outcome.scenarios.empty()) return;
+  std::vector<std::string> headers{"solver"};
+  for (const Scenario s : outcome.scenarios)
+    headers.push_back(std::string("median ") + scenarioName(s));
+  printHeading(out, "median cost ratio vs " + outcome.solvers.front() +
+                        " by scenario");
+  TextTable byScenario(headers);
+  for (const SolverSummary& s : outcome.summaries) {
+    std::vector<std::string> row{s.solver};
+    for (const double v : s.medianRatioByScenario) row.push_back(fmt(v));
+    byScenario.addRow(row);
+  }
+  byScenario.print(out);
+}
+
+} // namespace cawo

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "sim/runner.hpp"
+#include "solver/solver.hpp"
+
+/// \file campaign_runner.hpp
+/// Executes a `CampaignSpec` and emits machine-readable results (see
+/// docs/formats.md, "Campaign result JSON").
+///
+/// The runner expands the campaign's cross-product into instances, builds
+/// and solves them with `parallelFor` sharding over *instances* (each shard
+/// runs the full solver selection on its instance, exactly like the suite
+/// runner, so campaign costs match `runAllOnInstance` bit for bit), and
+/// produces:
+///   * one `CampaignRecord` per (instance, solver) cell — carbon cost,
+///     schedule-independent lower bound, ratio vs the baseline solver,
+///     wall time and validity;
+///   * per-solver `SolverSummary` aggregates — win counts, median/mean
+///     ratios, per-scenario median ratios (via sim/stats);
+///   * a single JSON document bundling campaign, records and summaries.
+
+namespace cawo {
+
+/// One (instance, solver) result cell of a campaign.
+struct CampaignRecord {
+  InstanceSpec spec;        ///< the instance's axes
+  std::string instance;     ///< InstanceSpec::label()
+  Time deadline = 0;        ///< ceil(deadlineFactor · D)
+  Time asapMakespanD = 0;   ///< the paper's D
+  TaskId numNodes = 0;      ///< enhanced-graph nodes (incl. comm tasks)
+  Cost lowerBound = 0;      ///< carbonLowerBound of the instance
+
+  std::string solver;       ///< registry name as selected
+  Cost cost = 0;
+  double wallMs = 0.0;
+  bool feasible = false;    ///< schedule validated against the deadline
+  bool provedOptimal = false;
+  bool skipped = false;     ///< capability mismatch — no run happened
+  /// Cost of the baseline (first selected solver) on the same instance;
+  /// meaningful only when `hasBaseline` — written as null in JSON
+  /// otherwise (0 is a legitimate cost, not a sentinel).
+  Cost baselineCost = 0;
+  /// True when the baseline solver ran feasibly on this instance.
+  bool hasBaseline = false;
+  /// cost / baselineCost; NaN when undefined (no feasible baseline,
+  /// baseline 0 with own cost > 0, own solve infeasible, or the cell was
+  /// skipped). Written as null in JSON.
+  double ratioVsBaseline = 0.0;
+};
+
+/// Per-solver aggregate over every instance the solver ran on.
+struct SolverSummary {
+  std::string solver;
+  int instances = 0;   ///< cells actually run (not skipped)
+  int wins = 0;        ///< cells with the minimum cost (ties count for all)
+  double medianRatio = 0.0; ///< median cost ratio vs the baseline solver
+  double meanRatio = 0.0;
+  double totalWallMs = 0.0;
+  /// Median ratio restricted to each scenario that occurs in the campaign,
+  /// aligned with CampaignOutcome::scenarios.
+  std::vector<double> medianRatioByScenario;
+};
+
+/// Everything a campaign run produced.
+struct CampaignOutcome {
+  CampaignSpec spec;
+  std::vector<std::string> solvers;    ///< resolved selection, run order
+  std::vector<Scenario> scenarios;     ///< distinct scenarios, S1..S4 order
+  std::vector<InstanceResult> results; ///< per instance, suite-compatible
+  std::vector<CampaignRecord> records; ///< |instances| × |solvers| cells
+  std::vector<SolverSummary> summaries;
+};
+
+/// Progress callback: (cells finished, total cells).
+using CampaignProgress = std::function<void(std::size_t, std::size_t)>;
+
+/// Run the whole campaign. Instances are built and solved in parallel
+/// (`spec.threads`, 0 = hardware concurrency); records are ordered
+/// instance-major in expansion order, so the output is deterministic
+/// regardless of the thread count. Solvers that do not fit an instance
+/// (see solverFitsInstance) yield a record with `skipped = true`.
+CampaignOutcome runCampaign(const CampaignSpec& spec,
+                            const SolverOptions& options = {},
+                            const CampaignProgress& progress = {});
+
+/// Write the outcome as one JSON document: a `campaign` header object, a
+/// `records` array (one single-line object per cell — grep-friendly, still
+/// one valid document) and a `summary` array.
+void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome);
+std::string toCampaignJsonString(const CampaignOutcome& outcome);
+void writeCampaignJsonFile(const std::string& path,
+                           const CampaignOutcome& outcome);
+
+/// Print the per-solver summary table; with `perScenario` also one median-
+/// ratio table per scenario (the Figure 15 view).
+void printCampaignSummary(std::ostream& out, const CampaignOutcome& outcome,
+                          bool perScenario = false);
+
+} // namespace cawo

@@ -1,0 +1,440 @@
+#include "exp/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+void JsonWriter::separator() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;
+  }
+  if (!hasItems_.empty()) {
+    const bool first = !hasItems_.back();
+    if (!first) out_ << ',';
+    hasItems_.back() = true;
+    if (compact()) {
+      if (!first) out_ << ' ';
+    } else {
+      newlineIndent();
+    }
+  }
+}
+
+void JsonWriter::newlineIndent() {
+  out_ << '\n';
+  for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+}
+
+void JsonWriter::beginObject() {
+  separator();
+  out_ << '{';
+  hasItems_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::endObject() {
+  CAWO_REQUIRE(!hasItems_.empty(), "JsonWriter: endObject without begin");
+  const bool had = hasItems_.back();
+  const bool wasCompact = compact();
+  hasItems_.pop_back();
+  --depth_;
+  if (had && !wasCompact) {
+    out_ << '\n';
+    for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+  }
+  out_ << '}';
+  if (depth_ < compactDepth_) compactDepth_ = 1 << 20;
+}
+
+void JsonWriter::beginArray() {
+  separator();
+  out_ << '[';
+  hasItems_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::endArray() {
+  CAWO_REQUIRE(!hasItems_.empty(), "JsonWriter: endArray without begin");
+  const bool had = hasItems_.back();
+  const bool wasCompact = compact();
+  hasItems_.pop_back();
+  --depth_;
+  if (had && !wasCompact) {
+    out_ << '\n';
+    for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+  }
+  out_ << ']';
+  if (depth_ < compactDepth_) compactDepth_ = 1 << 20;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separator();
+  out_ << '"' << jsonEscape(k) << "\": ";
+  afterKey_ = true;
+  return *this;
+}
+
+void JsonWriter::value(const std::string& s) {
+  separator();
+  out_ << '"' << jsonEscape(s) << '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  out_ << jsonNumber(v);
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separator();
+  out_ << "null";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+bool JsonValue::asBool() const {
+  CAWO_REQUIRE(kind_ == Kind::Bool, "JSON value is not a boolean");
+  return boolValue_;
+}
+
+double JsonValue::asDouble() const {
+  CAWO_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return numberValue_;
+}
+
+std::int64_t JsonValue::asInt() const {
+  CAWO_REQUIRE(kind_ == Kind::Number && numberIsInt_,
+               "JSON value is not an integer");
+  return intValue_;
+}
+
+const std::string& JsonValue::asString() const {
+  CAWO_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+  return stringValue_;
+}
+
+const std::vector<JsonValue>& JsonValue::asArray() const {
+  CAWO_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  return arrayValues_;
+}
+
+bool JsonValue::has(const std::string& k) const {
+  CAWO_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return objectValues_.count(k) != 0;
+}
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+  CAWO_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  const auto it = objectValues_.find(k);
+  if (it == objectValues_.end()) {
+    std::string keys;
+    for (const std::string& have : objectKeys_)
+      keys += (keys.empty() ? "" : ", ") + have;
+    CAWO_REQUIRE(false, "JSON object has no key \"" + k +
+                            "\" (available: " + keys + ")");
+  }
+  return it->second;
+}
+
+const std::vector<std::string>& JsonValue::objectKeys() const {
+  CAWO_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return objectKeys_;
+}
+
+/// Recursive-descent parser over the supported JSON subset.
+class JsonParser {
+public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    skipWhitespace();
+    JsonValue v = parseValue();
+    skipWhitespace();
+    check(pos_ == text_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw PreconditionError("JSON parse error at line " +
+                            std::to_string(line) + ", column " +
+                            std::to_string(col) + ": " + msg);
+  }
+
+  void check(bool ok, const std::string& msg) const {
+    if (!ok) fail(msg);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    check(peek() == c, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool consumeWord(const char* w) {
+    std::size_t i = 0;
+    while (w[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != w[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipWhitespace();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return parseString();
+      case 't':
+      case 'f': return parseBool();
+      case 'n': return parseNull();
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Object;
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWhitespace();
+      check(peek() == '"', "expected object key string");
+      const std::string key = parseString().asString();
+      skipWhitespace();
+      expect(':');
+      JsonValue member = parseValue();
+      check(v.objectValues_.count(key) == 0,
+            "duplicate object key \"" + key + "\"");
+      v.objectKeys_.push_back(key);
+      v.objectValues_.emplace(key, std::move(member));
+      skipWhitespace();
+      const char c = take();
+      if (c == '}') return v;
+      check(c == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Array;
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arrayValues_.push_back(parseValue());
+      skipWhitespace();
+      const char c = take();
+      if (c == ']') return v;
+      check(c == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parseString() {
+    expect('"');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::String;
+    std::string& out = v.stringValue_;
+    while (true) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = take();
+      if (c == '"') return v;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Encode the code point as UTF-8 (BMP only — sufficient for the
+          // escapes the writer produces, which are all < 0x20).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parseBool() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Bool;
+    if (consumeWord("true")) {
+      v.boolValue_ = true;
+      return v;
+    }
+    if (consumeWord("false")) {
+      v.boolValue_ = false;
+      return v;
+    }
+    fail("expected 'true' or 'false'");
+  }
+
+  JsonValue parseNull() {
+    check(consumeWord("null"), "expected 'null'");
+    return JsonValue{};
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool isInt = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isInt = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    check(pos_ > start + (text_[start] == '-' ? 1u : 0u), "expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Number;
+    try {
+      v.numberValue_ = std::stod(token);
+    } catch (const std::exception&) {
+      fail("malformed number \"" + token + "\"");
+    }
+    if (isInt) {
+      try {
+        v.intValue_ = std::stoll(token);
+        v.numberIsInt_ = true;
+      } catch (const std::exception&) {
+        v.numberIsInt_ = false; // out of int64 range; keep the double
+      }
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parseDocument();
+}
+
+} // namespace cawo

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal JSON support for the experiment campaign engine: a streaming
+/// `JsonWriter` that emits the machine-readable result files, and a small
+/// recursive-descent `JsonValue` parser used for campaign files written in
+/// JSON form and for round-trip tests of the emitted records.
+///
+/// The subset is exactly what the campaign formats need (see
+/// docs/formats.md): objects, arrays, strings, integer and floating-point
+/// numbers, booleans and null, UTF-8 passed through verbatim. There are no
+/// external dependencies, keeping the repository self-contained.
+
+namespace cawo {
+
+/// Escape a string for embedding between JSON double quotes (handles
+/// backslash, quote and control characters; UTF-8 bytes pass through).
+std::string jsonEscape(const std::string& s);
+
+/// Render a double the way the result files expect it: finite values with
+/// up to 12 significant digits (shortest round-trip-ish), non-finite
+/// values as null (JSON has no NaN/Inf).
+std::string jsonNumber(double value);
+
+/// Streaming JSON writer with automatic comma / indentation management.
+///
+/// Usage mirrors the document structure:
+/// ```
+/// JsonWriter w(out);
+/// w.beginObject();
+/// w.key("records"); w.beginArray();
+/// ...
+/// w.endArray();
+/// w.endObject();
+/// ```
+/// With `indent == 0` the output is a single line; otherwise nested
+/// containers are pretty-printed with `indent` spaces per level. Array
+/// elements written via `compactNext()` stay on one line, which keeps one
+/// record per line in the results file.
+class JsonWriter {
+public:
+  /// Write to `out`, pretty-printed with `indent` spaces per level.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Write the key of the next object member.
+  JsonWriter& key(const std::string& k);
+
+  void value(const std::string& s);
+  void value(const char* s);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::uint64_t v);
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  /// Emit the next container (and everything inside it) on a single line.
+  void compactNext() { compactDepth_ = depth_ + 1; }
+
+private:
+  void separator();
+  void newlineIndent();
+  bool compact() const { return indent_ == 0 || depth_ >= compactDepth_; }
+
+  std::ostream& out_;
+  int indent_;
+  int depth_ = 0;
+  int compactDepth_ = 1 << 20; ///< depth at/past which output is one-line
+  std::vector<bool> hasItems_; ///< per open container: any member yet?
+  bool afterKey_ = false;
+};
+
+/// A parsed JSON document node (object keys keep insertion order in
+/// `objectKeys`). Numbers are stored as double plus an exact-integer flag.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+
+  bool asBool() const;
+  double asDouble() const;
+  /// True for numbers written without fraction/exponent (e.g. 42, not 42.0).
+  bool isInteger() const {
+    return kind_ == Kind::Number && numberIsInt_;
+  }
+  std::int64_t asInt() const; ///< throws unless the number is integral
+  const std::string& asString() const;
+  const std::vector<JsonValue>& asArray() const;
+
+  /// Object access. `has`/`at` throw on non-objects; `at` throws on
+  /// missing keys with the available keys listed.
+  bool has(const std::string& k) const;
+  const JsonValue& at(const std::string& k) const;
+  const std::vector<std::string>& objectKeys() const;
+
+  /// Parse a complete JSON document; throws PreconditionError with a
+  /// line/column position on malformed input or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool boolValue_ = false;
+  double numberValue_ = 0.0;
+  bool numberIsInt_ = false;
+  std::int64_t intValue_ = 0;
+  std::string stringValue_;
+  std::vector<JsonValue> arrayValues_;
+  std::vector<std::string> objectKeys_;
+  std::map<std::string, JsonValue> objectValues_;
+};
+
+} // namespace cawo

@@ -18,6 +18,16 @@ const char* scenarioName(Scenario s) {
   return "?";
 }
 
+Scenario scenarioFromName(const std::string& name) {
+  for (const Scenario s :
+       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
+    if (name == scenarioName(s)) return s;
+  }
+  CAWO_REQUIRE(false, "unknown scenario \"" + name +
+                          "\" (expected S1, S2, S3 or S4)");
+  return Scenario::S1; // unreachable
+}
+
 namespace {
 
 /// Normalised shape value in [0, 1] at relative position x ∈ [0, 1].

@@ -28,6 +28,10 @@ enum class Scenario { S1, S2, S3, S4 };
 
 const char* scenarioName(Scenario s);
 
+/// Inverse of `scenarioName` ("S1" → Scenario::S1, …); throws
+/// PreconditionError for unknown names, listing the alternatives.
+Scenario scenarioFromName(const std::string& name);
+
 struct ScenarioOptions {
   int numIntervals = 24;
   double perturbation = 0.1; ///< relative amplitude of the random noise

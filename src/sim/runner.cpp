@@ -20,6 +20,10 @@ SolverOptions solverOptionsFrom(const CaWoParams& params) {
   return options;
 }
 
+bool solverFitsInstance(const SolverInfo& info, const Instance& instance) {
+  return !(info.singleProcOnly && instance.gc.numProcs() != 1);
+}
+
 InstanceResult runSolversOnInstance(const Instance& instance,
                                     const std::vector<std::string>& solvers,
                                     const SolverOptions& options) {
@@ -43,8 +47,7 @@ InstanceResult runSolversOnInstance(const Instance& instance,
     // Solvers whose capabilities don't fit the instance are skipped, so
     // broad selections ("all") stay usable on any suite: the
     // single-processor DP cannot run on a multi-processor graph.
-    if (solver->info().singleProcOnly && instance.gc.numProcs() != 1)
-      continue;
+    if (!solverFitsInstance(solver->info(), instance)) continue;
     const SolveResult solved = solver->solve(request);
     CAWO_ASSERT(solved.feasible, "solver " + name +
                                      " produced an invalid schedule: " +

@@ -44,6 +44,12 @@ std::vector<std::string> suiteSolverNames();
 /// Compatibility alias for `suiteSolverNames()`.
 std::vector<std::string> algorithmNames();
 
+/// True if a solver with these capabilities can run on the instance —
+/// e.g. the single-processor "dp" does not fit a multi-processor enhanced
+/// graph. Shared by the suite runner and the campaign engine so broad
+/// selections ("all") skip the same solvers everywhere.
+bool solverFitsInstance(const SolverInfo& info, const Instance& instance);
+
 /// Run the given registry solvers on one (already built) instance.
 /// Solvers whose capabilities don't fit the instance (e.g. the
 /// single-processor "dp" on a multi-processor graph) are skipped, so

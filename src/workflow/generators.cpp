@@ -19,6 +19,17 @@ const char* familyName(WorkflowFamily f) {
   return "unknown";
 }
 
+WorkflowFamily familyFromName(const std::string& name) {
+  for (const WorkflowFamily f :
+       {WorkflowFamily::Atacseq, WorkflowFamily::Bacass, WorkflowFamily::Eager,
+        WorkflowFamily::Methylseq}) {
+    if (name == familyName(f)) return f;
+  }
+  CAWO_REQUIRE(false, "unknown workflow family \"" + name +
+                          "\" (expected atacseq, bacass, eager or methylseq)");
+  return WorkflowFamily::Atacseq; // unreachable
+}
+
 namespace {
 
 /// Weight sampling shared by all generators. Stage multipliers let heavy

@@ -26,6 +26,10 @@ enum class WorkflowFamily { Atacseq, Bacass, Eager, Methylseq };
 
 const char* familyName(WorkflowFamily f);
 
+/// Inverse of `familyName` ("atacseq" → WorkflowFamily::Atacseq, …);
+/// throws PreconditionError for unknown names, listing the alternatives.
+WorkflowFamily familyFromName(const std::string& name);
+
 struct WorkflowGenOptions {
   int targetTasks = 200;        ///< approximate |V| of the generated DAG
   std::uint64_t seed = 1;

@@ -1,5 +1,6 @@
 // cawosched-cli — schedule a DOT workflow under a CSV green-power profile
-// with any solver from the registry.
+// with any solver from the registry, or run a declarative experiment
+// campaign. Full reference: docs/cli.md.
 //
 //   cawosched-cli --list-algos
 //   cawosched-cli --workflow=flow.dot [--profile=green.csv]
@@ -9,6 +10,9 @@
 //                 [--block-size=3] [--ls-radius=10]
 //                 [--bnb-max-nodes=N] [--bnb-time-limit=SEC]
 //                 [--out=schedule.csv] [--gantt] [--seed=1]
+//   cawosched-cli campaign [--campaign=<file>] [--out=results.json]
+//                 [--summary] [--threads=N] [--quiet]
+//                 [--<axis>=<comma list> ...]   (overrides the file)
 //
 // The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
 // is built, and every selected solver runs against the profile. Without
@@ -16,6 +20,12 @@
 // the deadline horizon. Per-solver diagnostics (carbon cost, wall time,
 // optimality flag, ratio vs ASAP) come from the uniform SolveResult;
 // optionally the best schedule is written as CSV or an ASCII Gantt chart.
+//
+// The campaign subcommand expands a cross-product of workflow families,
+// sizes, cluster sizes, scenarios, deadline factors and seeds (see
+// docs/formats.md for the campaign file format), runs every selected
+// solver on every instance in parallel, prints an aggregate summary and
+// optionally writes one JSON record per (instance, solver) cell.
 //
 // Legacy spellings are still accepted: --variant=<name> equals
 // --algo=<name>, and --green-heft equals --algo=greenheft.
@@ -26,6 +36,8 @@
 #include "core/asap.hpp"
 #include "core/carbon_cost.hpp"
 #include "core/schedule_io.hpp"
+#include "exp/campaign.hpp"
+#include "exp/campaign_runner.hpp"
 #include "heft/heft.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/scenario.hpp"
@@ -40,6 +52,68 @@
 namespace {
 
 using namespace cawo;
+
+/// `cawosched-cli campaign ...` — run a declarative experiment campaign.
+/// `argv` starts at the flags after the subcommand word.
+int runCampaignCommand(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"campaign", "out", "summary", "quiet", "help", "name",
+                      "families", "tasks", "bacass-tasks", "nodes-per-type",
+                      "scenarios", "deadline-factors", "seeds", "intervals",
+                      "algos", "threads", "block-size", "ls-radius"});
+  if (args.has("help")) {
+    std::cout
+        << "usage: cawosched-cli campaign [--campaign=<file>] "
+           "[--out=results.json] [--summary]\n"
+           "  [--threads=N] [--quiet] [--name=label] "
+           "[--families=atacseq,eager,...]\n"
+           "  [--tasks=a,b] [--bacass-tasks=N] [--nodes-per-type=a,b] "
+           "[--scenarios=S1,S2|all]\n"
+           "  [--deadline-factors=1.5,2.0] [--seeds=a,b] [--intervals=J] "
+           "[--algos=SEL]\n"
+           "  [--block-size=3] [--ls-radius=10]\n"
+           "The campaign file holds the same keys as the flags "
+           "(key = value lines or a JSON\nobject, see docs/formats.md); "
+           "flags override the file.\n";
+    return 0;
+  }
+
+  CampaignSpec spec;
+  if (args.has("campaign"))
+    spec = parseCampaignFile(args.getString("campaign", ""));
+  // Axis flags override the file: every flag funnels through the same
+  // setCampaignKey vocabulary as the file keys.
+  for (const char* key :
+       {"name", "families", "tasks", "bacass-tasks", "nodes-per-type",
+        "scenarios", "deadline-factors", "seeds", "intervals", "algos",
+        "threads"}) {
+    if (args.has(key)) setCampaignKey(spec, key, args.getString(key, ""));
+  }
+
+  SolverOptions options;
+  options.setInt("block-size", args.getInt("block-size", 3));
+  options.setInt("ls-radius", args.getInt("ls-radius", 10));
+
+  const bool quiet = args.has("quiet");
+  const std::vector<std::string> solvers = campaignSolverNames(spec);
+  if (!quiet)
+    std::cout << "campaign \"" << spec.name << "\": " << spec.cellCount()
+              << " instances × " << solvers.size() << " solvers ("
+              << spec.cellCount() * solvers.size() << " cells)\n";
+
+  const CampaignOutcome outcome = runCampaign(spec, options);
+
+  if (!quiet || !args.has("out"))
+    printCampaignSummary(std::cout, outcome, args.has("summary"));
+  if (args.has("out")) {
+    const std::string out = args.getString("out", "results.json");
+    writeCampaignJsonFile(out, outcome);
+    if (!quiet)
+      std::cout << "\n" << outcome.records.size() << " JSON records written "
+                << "to " << out << "\n";
+  }
+  return 0;
+}
 
 int listAlgos() {
   const SolverRegistry& registry = SolverRegistry::global();
@@ -69,6 +143,9 @@ struct CliRun {
 int main(int argc, char** argv) {
   using namespace cawo;
   try {
+    if (argc > 1 && std::string(argv[1]) == "campaign")
+      return runCampaignCommand(argc - 1, argv + 1);
+
     const CliArgs args(
         argc, argv,
         {"workflow", "profile", "algo", "variant", "deadline-factor",
@@ -87,7 +164,9 @@ int main(int argc, char** argv) {
              "[--ls-radius=10]\n"
              "  [--bnb-max-nodes=N] [--bnb-time-limit=SEC] "
              "[--out=schedule.csv] [--gantt] [--seed=1]\n"
-             "  cawosched-cli --list-algos\n";
+             "  cawosched-cli --list-algos\n"
+             "  cawosched-cli campaign [--campaign=<file>] "
+             "[--out=results.json] [--summary] (see campaign --help)\n";
       return args.has("help") ? 0 : 2;
     }
 
