@@ -19,6 +19,10 @@
 
 #include "bench_common.hpp"
 
+#include <algorithm>
+
+#include "util/require.hpp"
+
 int main(int argc, char** argv) {
   using namespace cawo;
   using namespace cawo::bench;
@@ -26,14 +30,36 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = parseBenchConfig(argc, argv);
   const SolverRegistry& registry = SolverRegistry::global();
 
+  // The scenario axis honours --scenarios like every other bench:
+  // "all" is the paper's S1–S4 grid, any comma list of registered
+  // profile specs works (the per-scenario table gets one row per spec).
+  const std::vector<std::string> scenarioAxis =
+      cfg.scenarios == "all" ? paperScenarioNames()
+                             : splitSpecList(cfg.scenarios);
+
   std::vector<double> ratioHeft, ratioGreen;
-  std::vector<double> perScenarioHeft[4], perScenarioGreen[4];
+  std::vector<std::vector<double>> perScenarioHeft(scenarioAxis.size()),
+      perScenarioGreen(scenarioAxis.size());
 
   for (const WorkflowFamily family :
        {WorkflowFamily::Atacseq, WorkflowFamily::Eager}) {
-    for (const InstanceSpec& spec :
-         fullGrid(family, cfg.tasks, cfg.clusters.front(), cfg.baseSeed,
-                  cfg.numIntervals)) {
+    // The paper's 16-profile grid (fullGrid), generalised to the
+    // configured scenario axis.
+    std::vector<InstanceSpec> grid;
+    for (const std::string& scenario : scenarioAxis) {
+      for (const double factor : {1.0, 1.5, 2.0, 3.0}) {
+        InstanceSpec spec;
+        spec.family = family;
+        spec.targetTasks = cfg.tasks;
+        spec.nodesPerType = cfg.clusters.front();
+        spec.scenario = scenario;
+        spec.deadlineFactor = factor;
+        spec.numIntervals = cfg.numIntervals;
+        spec.seed = cfg.baseSeed;
+        grid.push_back(spec);
+      }
+    }
+    for (const InstanceSpec& spec : grid) {
       const Instance inst = buildInstance(spec);
 
       SolveRequest request;
@@ -58,7 +84,13 @@ int main(int argc, char** argv) {
           registry.create("greenheft")->solve(request).cost;
 
       if (asap == 0) continue;
-      const auto scenarioIdx = static_cast<std::size_t>(spec.scenario);
+      const auto scenarioIdx = static_cast<std::size_t>(
+          std::find(scenarioAxis.begin(), scenarioAxis.end(),
+                    spec.scenario) -
+          scenarioAxis.begin());
+      CAWO_ASSERT(scenarioIdx < scenarioAxis.size(),
+                  "instance scenario \"" + spec.scenario +
+                      "\" missing from the configured axis");
       ratioHeft.push_back(static_cast<double>(heftCost) /
                           static_cast<double>(asap));
       ratioGreen.push_back(static_cast<double>(greenCost) /
@@ -77,10 +109,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   TextTable byScenario({"scenario", "HEFT+LS", "GreenHEFT+LS"});
-  const char* names[] = {"S1", "S2", "S3", "S4"};
-  for (std::size_t sIdx = 0; sIdx < 4; ++sIdx) {
+  for (std::size_t sIdx = 0; sIdx < scenarioAxis.size(); ++sIdx) {
     if (perScenarioHeft[sIdx].empty()) continue;
-    byScenario.addRow({names[sIdx],
+    byScenario.addRow({scenarioAxis[sIdx],
                        formatFixed(medianOf(perScenarioHeft[sIdx]), 3),
                        formatFixed(medianOf(perScenarioGreen[sIdx]), 3)});
   }

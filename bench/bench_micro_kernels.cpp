@@ -1,8 +1,16 @@
 // Microbenchmarks (google-benchmark) for the library's hot kernels:
 // carbon-cost evaluation, EST/LST passes, interval refinement, greedy
-// scheduling, local search, and the two incremental data structures.
+// scheduling, local search, profile generation through the source
+// registry, and the two incremental data structures.
+//
+// --out=FILE (this repo's spelling across all bench binaries) writes the
+// run as google-benchmark JSON in addition to the console table.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/asap.hpp"
 #include "core/budget_tree.hpp"
@@ -14,7 +22,8 @@
 #include "core/local_search.hpp"
 #include "core/power_timeline.hpp"
 #include "heft/heft.hpp"
-#include "profile/scenario.hpp"
+#include "profile/profile_io.hpp"
+#include "profile/profile_source.hpp"
 #include "sim/instance.hpp"
 #include "util/rng.hpp"
 #include "workflow/generators.hpp"
@@ -28,7 +37,7 @@ Instance makeInstance(int tasks) {
   spec.family = WorkflowFamily::Atacseq;
   spec.targetTasks = tasks;
   spec.nodesPerType = 1;
-  spec.scenario = Scenario::S1;
+  spec.scenario = "S1";
   spec.deadlineFactor = 2.0;
   spec.numIntervals = 16;
   spec.seed = 99;
@@ -110,6 +119,45 @@ void BM_BudgetTreeOps(benchmark::State& state) {
 }
 BENCHMARK(BM_BudgetTreeOps);
 
+// Profile generation through the ProfileSourceRegistry: spec parse +
+// source dispatch + shape sampling, across interval counts (state.range).
+void BM_GenerateProfile(benchmark::State& state, const std::string& spec) {
+  ProfileRequest req;
+  req.horizon = 24 * 3600;
+  req.sumIdle = 100;
+  req.sumWork = 200;
+  req.numIntervals = static_cast<int>(state.range(0));
+  req.seed = 11;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generateProfile(spec, req));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK_CAPTURE(BM_GenerateProfile, S1, "S1")
+    ->Arg(24)->Arg(288)->Arg(2880)->Complexity();
+BENCHMARK_CAPTURE(BM_GenerateProfile, sine,
+                  "sine:period=24,amp=0.5,phase=6+noise=0.1")
+    ->Arg(24)->Arg(288)->Arg(2880)->Complexity();
+BENCHMARK_CAPTURE(BM_GenerateProfile, duck, "duck")
+    ->Arg(24)->Arg(288)->Arg(2880)->Complexity();
+
+void BM_GenerateProfileTrace(benchmark::State& state) {
+  const std::string path = "/tmp/cawo_bench_trace.csv";
+  {
+    PowerProfile day;
+    for (int h = 0; h < 24; ++h)
+      day.appendInterval(3600, 100 + 80 * (h % 7));
+    writeProfileCsvFile(path, day);
+  }
+  ProfileRequest req;
+  req.horizon = static_cast<Time>(state.range(0)) * 24 * 3600;
+  req.sumIdle = 100;
+  req.sumWork = 200;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generateProfile(
+        "trace:" + path + ",repeat=1,normalize=1", req));
+}
+BENCHMARK(BM_GenerateProfileTrace)->Arg(1)->Arg(7);
+
 void BM_PowerTimelineMoveDelta(benchmark::State& state) {
   PowerProfile profile;
   for (int j = 0; j < 24; ++j) profile.appendInterval(100, j * 7 % 50);
@@ -129,4 +177,30 @@ BENCHMARK(BM_PowerTimelineMoveDelta);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but `--out=FILE` (the flag every other bench
+// binary uses for machine-readable results) is translated into
+// google-benchmark's --benchmark_out/--benchmark_out_format pair.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kOut = "--out=";
+    if (std::strncmp(argv[i], kOut, std::strlen(kOut)) == 0) {
+      storage.push_back(std::string("--benchmark_out=") +
+                        (argv[i] + std::strlen(kOut)));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int newArgc = static_cast<int>(args.size());
+  benchmark::Initialize(&newArgc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(newArgc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         asap == 0 ? "-" : formatFixed(static_cast<double>(bestCost) /
                                           static_cast<double>(asap),
                                       3);
-    table.addRow({scenarioName(spec.scenario),
+    table.addRow({spec.scenario,
                   formatFixed(spec.deadlineFactor, 1) + "·D",
                   std::to_string(asap), result.runs[best].algorithm,
                   std::to_string(bestCost), ratio});

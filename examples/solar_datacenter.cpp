@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   spec.family = WorkflowFamily::Eager;
   spec.targetTasks = static_cast<int>(args.getInt("tasks", 120));
   spec.nodesPerType = 2;
-  spec.scenario = Scenario::S1;
+  spec.scenario = "S1";
   spec.deadlineFactor = args.getDouble("deadline-factor", 3.0);
   spec.numIntervals = 24; // one "hour" per interval
   spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 21));

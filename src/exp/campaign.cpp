@@ -1,7 +1,5 @@
 #include "exp/campaign.hpp"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -25,43 +23,18 @@ std::vector<std::string> splitList(const std::string& value) {
   return items;
 }
 
-int parseIntStrict(const std::string& key, const std::string& token) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(token.c_str(), &end, 10);
-  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
-               "campaign key \"" + key + "\": \"" + token +
-                   "\" is not an integer");
+std::string keyLabel(const std::string& key) {
+  return "campaign key \"" + key + "\"";
+}
+
+int parseIntKey(const std::string& key, const std::string& token) {
+  const std::int64_t v = parseInt64Strict(keyLabel(key), token);
   // Never truncate: a wrapped value would silently run a different
   // experiment than the one requested.
   CAWO_REQUIRE(v >= std::numeric_limits<int>::min() &&
                    v <= std::numeric_limits<int>::max(),
-               "campaign key \"" + key + "\": \"" + token +
-                   "\" is out of range");
+               keyLabel(key) + ": \"" + token + "\" is out of range");
   return static_cast<int>(v);
-}
-
-std::uint64_t parseUint64Strict(const std::string& key,
-                                const std::string& token) {
-  CAWO_REQUIRE(!token.empty() && token[0] != '-',
-               "campaign key \"" + key + "\": \"" + token +
-                   "\" must be a non-negative integer");
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
-               "campaign key \"" + key + "\": \"" + token +
-                   "\" is not a valid 64-bit seed");
-  return static_cast<std::uint64_t>(v);
-}
-
-double parseDoubleStrict(const std::string& key, const std::string& token) {
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  CAWO_REQUIRE(end != token.c_str() && *end == '\0',
-               "campaign key \"" + key + "\": \"" + token +
-                   "\" is not a number");
-  return v;
 }
 
 std::vector<std::string> nonEmptyList(const std::string& key,
@@ -102,13 +75,13 @@ void setCampaignKey(CampaignSpec& spec, const std::string& key,
   } else if (key == "tasks") {
     std::vector<int> tasks;
     for (const std::string& item : nonEmptyList(key, value)) {
-      const int n = parseIntStrict(key, item);
+      const int n = parseIntKey(key, item);
       CAWO_REQUIRE(n > 0, "campaign key \"tasks\": sizes must be positive");
       tasks.push_back(n);
     }
     spec.tasks = std::move(tasks);
   } else if (key == "bacass-tasks") {
-    const int n = parseIntStrict(key, std::string{trim(value)});
+    const int n = parseIntKey(key, std::string{trim(value)});
     CAWO_REQUIRE(n >= 0,
                  "campaign key \"bacass-tasks\" must be >= 0 (0 = use the "
                  "tasks axis)");
@@ -116,26 +89,43 @@ void setCampaignKey(CampaignSpec& spec, const std::string& key,
   } else if (key == "nodes-per-type") {
     std::vector<int> nodes;
     for (const std::string& item : nonEmptyList(key, value)) {
-      const int n = parseIntStrict(key, item);
+      const int n = parseIntKey(key, item);
       CAWO_REQUIRE(n > 0,
                    "campaign key \"nodes-per-type\": sizes must be positive");
       nodes.push_back(n);
     }
     spec.nodesPerType = std::move(nodes);
   } else if (key == "scenarios") {
-    std::vector<Scenario> scenarios;
-    const std::vector<std::string> items = nonEmptyList(key, value);
-    if (items.size() == 1 && items[0] == "all") {
-      scenarios = {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4};
+    // Profile specs carry commas of their own ("sine:period=24,amp=0.5"),
+    // so the axis splits with splitSpecList, not the plain comma split.
+    std::vector<std::string> scenarios = splitSpecList(value);
+    CAWO_REQUIRE(!scenarios.empty(),
+                 "campaign key \"" + key +
+                     "\" has an empty value — an empty axis would erase the "
+                     "whole cross-product");
+    if (scenarios.size() == 1 && scenarios[0] == "all") {
+      scenarios = paperScenarioNames();
     } else {
-      for (const std::string& item : items)
-        scenarios.push_back(scenarioFromName(item));
+      // Validate every spec now with a dry-run generation at a tiny
+      // horizon: unknown sources, parameter typos, out-of-range values
+      // and unreadable trace files all fail at campaign-parse time
+      // instead of hours into a sweep. (A trace that is long enough for
+      // this probe can still turn out too short for a real deadline —
+      // that one case remains a run-time error.)
+      const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+      for (const std::string& item : scenarios) {
+        ProfileRequest probe;
+        probe.horizon = 1;
+        probe.sumIdle = 1;
+        probe.sumWork = 1;
+        (void)registry.generate(registry.resolve(item), probe);
+      }
     }
     spec.scenarios = std::move(scenarios);
   } else if (key == "deadline-factors") {
     std::vector<double> factors;
     for (const std::string& item : nonEmptyList(key, value)) {
-      const double f = parseDoubleStrict(key, item);
+      const double f = parseDoubleStrict(keyLabel(key), item);
       CAWO_REQUIRE(f >= 1.0,
                    "campaign key \"deadline-factors\": factors below 1.0 are "
                    "infeasible by definition of D");
@@ -145,10 +135,10 @@ void setCampaignKey(CampaignSpec& spec, const std::string& key,
   } else if (key == "seeds") {
     std::vector<std::uint64_t> seeds;
     for (const std::string& item : nonEmptyList(key, value))
-      seeds.push_back(parseUint64Strict(key, item));
+      seeds.push_back(parseUint64Strict(keyLabel(key), item));
     spec.seeds = std::move(seeds);
   } else if (key == "intervals") {
-    const int intervals = parseIntStrict(key, std::string{trim(value)});
+    const int intervals = parseIntKey(key, std::string{trim(value)});
     CAWO_REQUIRE(intervals > 0, "campaign key \"intervals\" must be positive");
     spec.numIntervals = intervals;
   } else if (key == "algos") {
@@ -157,7 +147,7 @@ void setCampaignKey(CampaignSpec& spec, const std::string& key,
                  "campaign key \"algos\" has an empty value");
     spec.algos = trimmed;
   } else if (key == "threads") {
-    const int t = parseIntStrict(key, std::string{trim(value)});
+    const int t = parseIntKey(key, std::string{trim(value)});
     CAWO_REQUIRE(t >= 0, "campaign key \"threads\" must be >= 0");
     spec.threads = static_cast<unsigned>(t);
   } else {
@@ -258,7 +248,7 @@ std::vector<InstanceSpec> expandCampaign(const CampaignSpec& spec) {
     for (const int tasks : taskAxis) {
       for (const int cluster : spec.nodesPerType) {
         for (const std::uint64_t seed : spec.seeds) {
-          for (const Scenario scenario : spec.scenarios) {
+          for (const std::string& scenario : spec.scenarios) {
             for (const double factor : spec.deadlineFactors) {
               InstanceSpec cell;
               cell.family = family;

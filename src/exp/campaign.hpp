@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "profile/scenario.hpp"
+#include "profile/profile_source.hpp"
 #include "sim/instance.hpp"
 #include "workflow/generators.hpp"
 
@@ -43,9 +43,12 @@ struct CampaignSpec {
   /// Cluster sizes as nodes per Table-1 processor type (axis
   /// `nodes-per-type`; paper: 12 and 24).
   std::vector<int> nodesPerType{2};
-  /// Power-profile scenarios (axis `scenarios`; `all` = S1–S4).
-  std::vector<Scenario> scenarios{Scenario::S1, Scenario::S2, Scenario::S3,
-                                  Scenario::S4};
+  /// Power-profile specs resolved through the ProfileSourceRegistry (axis
+  /// `scenarios`; `all` = the paper's S1–S4). Any registered spec is a
+  /// valid axis value, e.g. "sine:period=24,amp=0.5" or
+  /// "trace:grid.csv,repeat=1,normalize=1"; commas inside a spec are
+  /// handled by splitSpecList.
+  std::vector<std::string> scenarios{"S1", "S2", "S3", "S4"};
   /// Deadline factors relative to the ASAP makespan D (axis
   /// `deadline-factors`; paper: 1.0, 1.5, 2.0, 3.0).
   std::vector<double> deadlineFactors{1.0, 1.5, 2.0, 3.0};

@@ -1,5 +1,6 @@
 #include "exp/campaign_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <fstream>
@@ -93,17 +94,21 @@ void runInstanceCell(const Instance& instance,
   }
 }
 
-std::vector<Scenario> distinctScenarios(const CampaignSpec& spec) {
-  std::vector<Scenario> out;
-  for (const Scenario s :
-       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
-    for (const Scenario have : spec.scenarios) {
-      if (have == s) {
-        out.push_back(s);
-        break;
-      }
-    }
-  }
+std::vector<std::string> distinctScenarios(const CampaignSpec& spec) {
+  std::vector<std::string> out;
+  const auto have = [&](const std::string& s) {
+    return std::find(out.begin(), out.end(), s) != out.end();
+  };
+  const auto inAxis = [&](const std::string& s) {
+    return std::find(spec.scenarios.begin(), spec.scenarios.end(), s) !=
+           spec.scenarios.end();
+  };
+  // Paper scenarios keep their canonical S1..S4 order (byte-stable with
+  // the closed-enum era); other specs follow in first-appearance order.
+  for (const std::string& s : paperScenarioNames())
+    if (inAxis(s)) out.push_back(s);
+  for (const std::string& s : spec.scenarios)
+    if (!have(s)) out.push_back(s);
   return out;
 }
 
@@ -187,7 +192,7 @@ void writeRecord(JsonWriter& w, const CampaignRecord& r) {
   w.key("family").value(familyName(r.spec.family));
   w.key("tasks").value(r.spec.targetTasks);
   w.key("nodes_per_type").value(r.spec.nodesPerType);
-  w.key("scenario").value(scenarioName(r.spec.scenario));
+  w.key("scenario").value(r.spec.scenario); // the spec string, verbatim
   w.key("deadline_factor").value(r.spec.deadlineFactor);
   w.key("seed").value(static_cast<std::uint64_t>(r.spec.seed));
   w.key("intervals").value(r.spec.numIntervals);
@@ -228,7 +233,7 @@ void writeSummary(JsonWriter& w, const CampaignOutcome& outcome,
   w.key("median_ratio_by_scenario");
   w.beginObject();
   for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc) {
-    w.key(scenarioName(outcome.scenarios[sc]));
+    w.key(outcome.scenarios[sc]);
     if (std::isnan(s.medianRatioByScenario[sc])) w.null();
     else w.value(s.medianRatioByScenario[sc]);
   }
@@ -266,7 +271,7 @@ void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
   w.key("scenarios");
   w.compactNext();
   w.beginArray();
-  for (const Scenario s : spec.scenarios) w.value(scenarioName(s));
+  for (const std::string& s : spec.scenarios) w.value(s);
   w.endArray();
   w.key("deadline_factors");
   w.compactNext();
@@ -338,8 +343,8 @@ void printCampaignSummary(std::ostream& out, const CampaignOutcome& outcome,
 
   if (!perScenario || outcome.scenarios.empty()) return;
   std::vector<std::string> headers{"solver"};
-  for (const Scenario s : outcome.scenarios)
-    headers.push_back(std::string("median ") + scenarioName(s));
+  for (const std::string& s : outcome.scenarios)
+    headers.push_back("median " + s);
   printHeading(out, "median cost ratio vs " + outcome.solvers.front() +
                         " by scenario");
   TextTable byScenario(headers);

@@ -71,7 +71,9 @@ struct SolverSummary {
 struct CampaignOutcome {
   CampaignSpec spec;
   std::vector<std::string> solvers;    ///< resolved selection, run order
-  std::vector<Scenario> scenarios;     ///< distinct scenarios, S1..S4 order
+  /// Distinct scenario specs: the paper's S1..S4 first (canonical order),
+  /// then any other specs in first-appearance order.
+  std::vector<std::string> scenarios;
   std::vector<InstanceResult> results; ///< per instance, suite-compatible
   std::vector<CampaignRecord> records; ///< |instances| × |solvers| cells
   std::vector<SolverSummary> summaries;

@@ -1,0 +1,545 @@
+#include "profile/profile_source.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "profile/profile_io.hpp"
+#include "profile/scenario.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace cawo {
+
+namespace {
+
+constexpr const char* kNoiseMarker = "+noise=";
+
+/// Shortest decimal form that parses back to exactly the same double —
+/// keeps ProfileSpec::canonical() a true round-trip.
+std::string shortestDouble(double v) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  CAWO_ASSERT(ec == std::errc{}, "double formatting failed");
+  return std::string(buffer, ptr);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ProfileSpec
+// ---------------------------------------------------------------------------
+
+ProfileSpec ProfileSpec::parse(const std::string& specText) {
+  const std::string text{trim(specText)};
+  CAWO_REQUIRE(!text.empty(), "empty profile spec");
+  ProfileSpec spec;
+  spec.text = text;
+  const std::string where = "profile spec \"" + text + "\"";
+
+  std::string head = text;
+  const std::size_t plus = text.find(kNoiseMarker);
+  if (plus != std::string::npos) {
+    head = text.substr(0, plus);
+    const std::string modifier =
+        text.substr(plus + std::strlen(kNoiseMarker));
+    const std::vector<std::string> tokens = split(modifier, ',');
+    spec.hasNoise = true;
+    spec.noise =
+        parseDoubleStrict(where + ": noise amplitude",
+                          std::string{trim(tokens.front())});
+    CAWO_REQUIRE(spec.noise >= 0.0 && spec.noise < 1.0,
+                 where + ": noise amplitude must be in [0, 1)");
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string token{trim(tokens[i])};
+      CAWO_REQUIRE(startsWith(token, "seed="),
+                   where + ": unknown noise-modifier token \"" + token +
+                       "\" (expected seed=N)");
+      CAWO_REQUIRE(!spec.hasNoiseSeed,
+                   where + ": duplicate seed= in the noise modifier");
+      const std::string value = token.substr(5);
+      spec.hasNoiseSeed = true;
+      spec.noiseSeed = parseUint64Strict(where + ": noise seed", value);
+    }
+  }
+
+  const std::string headTrimmed{trim(head)};
+  CAWO_REQUIRE(!headTrimmed.empty(), where + ": no source before '+noise'");
+  const std::size_t colon = headTrimmed.find(':');
+  if (colon == std::string::npos) {
+    spec.source = headTrimmed;
+  } else {
+    spec.source = std::string{trim(headTrimmed.substr(0, colon))};
+    const std::string paramText = headTrimmed.substr(colon + 1);
+    CAWO_REQUIRE(!trim(paramText).empty(),
+                 where + ": dangling ':' without parameters");
+    for (const std::string& part : split(paramText, ',')) {
+      const std::string item{trim(part)};
+      CAWO_REQUIRE(!item.empty(), where + ": empty parameter");
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        spec.params.push_back({"", item}); // positional (e.g. a trace path)
+        continue;
+      }
+      const std::string key{trim(item.substr(0, eq))};
+      const std::string value{trim(item.substr(eq + 1))};
+      CAWO_REQUIRE(!key.empty() && !value.empty(),
+                   where + ": expected key=value, got \"" + item + "\"");
+      // First-match lookup + silent duplicates would run a different
+      // experiment than the one the user believes they wrote.
+      CAWO_REQUIRE(!spec.hasParam(key),
+                   where + ": duplicate parameter \"" + key + "\"");
+      spec.params.push_back({key, value});
+    }
+  }
+  CAWO_REQUIRE(!spec.source.empty(), where + ": missing source name");
+  return spec;
+}
+
+std::string ProfileSpec::canonical() const {
+  std::string out = source;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += (i == 0 ? ":" : ",");
+    out += params[i].key.empty() ? params[i].value
+                                 : params[i].key + "=" + params[i].value;
+  }
+  if (hasNoise) {
+    out += kNoiseMarker + shortestDouble(noise);
+    if (hasNoiseSeed) out += ",seed=" + std::to_string(noiseSeed);
+  }
+  return out;
+}
+
+bool ProfileSpec::hasParam(const std::string& key) const {
+  for (const ProfileParam& p : params)
+    if (p.key == key) return true;
+  return false;
+}
+
+std::string ProfileSpec::param(const std::string& key,
+                               const std::string& fallback) const {
+  for (const ProfileParam& p : params)
+    if (p.key == key) return p.value;
+  return fallback;
+}
+
+double ProfileSpec::paramDouble(const std::string& key,
+                                double fallback) const {
+  if (!hasParam(key)) return fallback;
+  return parseDoubleStrict(
+      "profile spec \"" + text + "\": parameter \"" + key + "\"",
+      param(key, ""));
+}
+
+std::int64_t ProfileSpec::paramInt(const std::string& key,
+                                   std::int64_t fallback) const {
+  if (!hasParam(key)) return fallback;
+  return parseInt64Strict(
+      "profile spec \"" + text + "\": parameter \"" + key + "\"",
+      param(key, ""));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+ProfileSourceRegistry& ProfileSourceRegistry::global() {
+  static ProfileSourceRegistry* instance = [] {
+    auto* r = new ProfileSourceRegistry();
+    registerBuiltinProfileSources(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+void ProfileSourceRegistry::registerSource(ProfileSourceInfo info,
+                                           Generator generator) {
+  CAWO_REQUIRE(!info.name.empty(), "profile source name must not be empty");
+  CAWO_REQUIRE(info.name.find(':') == std::string::npos &&
+                   info.name.find(',') == std::string::npos &&
+                   info.name.find('+') == std::string::npos &&
+                   info.name.find('=') == std::string::npos,
+               "profile source name \"" + info.name +
+                   "\" must not contain spec syntax characters (:,+=)");
+  CAWO_REQUIRE(find(info.name) == nullptr,
+               "duplicate profile source \"" + info.name + "\"");
+  CAWO_REQUIRE(generator != nullptr,
+               "profile source \"" + info.name + "\" has no generator");
+  entries_.push_back({std::move(info), std::move(generator)});
+}
+
+const ProfileSourceRegistry::Entry* ProfileSourceRegistry::find(
+    const std::string& source) const {
+  for (const Entry& e : entries_)
+    if (e.info.name == source) return &e;
+  return nullptr;
+}
+
+bool ProfileSourceRegistry::contains(const std::string& source) const {
+  return find(source) != nullptr;
+}
+
+std::vector<std::string> ProfileSourceRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info.name);
+  return out;
+}
+
+const ProfileSourceInfo& ProfileSourceRegistry::info(
+    const std::string& source) const {
+  const Entry* entry = find(source);
+  CAWO_REQUIRE(entry != nullptr, "unknown profile source \"" + source +
+                                     "\" (registered: " + syntaxSummary() +
+                                     ")");
+  return entry->info;
+}
+
+std::string ProfileSourceRegistry::syntaxSummary() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.info.syntax;
+  }
+  return out + "; each optionally followed by +noise=A[,seed=N]";
+}
+
+ProfileSpec ProfileSourceRegistry::resolve(const std::string& specText) const {
+  const ProfileSpec spec = ProfileSpec::parse(specText);
+  CAWO_REQUIRE(contains(spec.source),
+               "unknown scenario \"" + spec.source + "\" in profile spec \"" +
+                   spec.text + "\" — registered sources: " + syntaxSummary());
+  return spec;
+}
+
+PowerProfile ProfileSourceRegistry::generate(
+    const ProfileSpec& spec, const ProfileRequest& request) const {
+  CAWO_REQUIRE(request.horizon > 0, "profile horizon must be positive");
+  const Entry* entry = find(spec.source);
+  CAWO_REQUIRE(entry != nullptr, "unknown profile source \"" + spec.source +
+                                     "\" (registered: " + syntaxSummary() +
+                                     ")");
+  PowerProfile profile = entry->generator(spec, request);
+  CAWO_ASSERT(profile.horizon() == request.horizon,
+              "profile source \"" + spec.source +
+                  "\" produced a profile of horizon " +
+                  std::to_string(profile.horizon()) +
+                  " instead of the requested " +
+                  std::to_string(request.horizon));
+  return profile;
+}
+
+PowerProfile generateProfile(const std::string& specText,
+                             const ProfileRequest& request) {
+  const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+  return registry.generate(registry.resolve(specText), request);
+}
+
+const std::vector<std::string>& paperScenarioNames() {
+  static const std::vector<std::string> names{"S1", "S2", "S3", "S4"};
+  return names;
+}
+
+std::vector<std::string> splitSpecList(const std::string& value) {
+  // A fragment continues the previous spec when its first '=' comes before
+  // any ':' or '+': "amp=0.5" and "seed=2" are parameters, while
+  // "sine:period=24" and "duck+noise=0.2" start a new spec.
+  const auto isContinuation = [](const std::string& item) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::size_t colon = item.find(':');
+    const std::size_t plus = item.find('+');
+    return (colon == std::string::npos || eq < colon) &&
+           (plus == std::string::npos || eq < plus);
+  };
+  std::vector<std::string> items;
+  for (const std::string& part : split(value, ',')) {
+    const std::string item{trim(part)};
+    if (item.empty()) continue;
+    if (isContinuation(item)) {
+      CAWO_REQUIRE(!items.empty(),
+                   "scenario list starts with the parameter fragment \"" +
+                       item + "\" — parameters belong after a source name");
+      items.back() += "," + item;
+    } else {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in sources
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reject parameters the source does not understand, so a typo like
+/// "constant:lvel=0.6" fails loudly instead of silently using the default.
+void checkParams(const ProfileSpec& spec,
+                 std::initializer_list<const char*> allowed,
+                 bool allowPositional = false) {
+  for (const ProfileParam& p : spec.params) {
+    if (p.key.empty()) {
+      CAWO_REQUIRE(allowPositional,
+                   "profile spec \"" + spec.text +
+                       "\": source \"" + spec.source +
+                       "\" takes no positional parameter");
+      continue;
+    }
+    bool known = false;
+    for (const char* a : allowed)
+      if (p.key == a) known = true;
+    std::string list;
+    for (const char* a : allowed) {
+      if (!list.empty()) list += ", ";
+      list += a;
+    }
+    CAWO_REQUIRE(known, "profile spec \"" + spec.text +
+                            "\": unknown parameter \"" + p.key +
+                            "\" for source \"" + spec.source +
+                            "\" (known: " +
+                            (list.empty() ? "none" : list) + ")");
+  }
+}
+
+/// Noise options for the paper scenarios: Section 6.1 perturbation by
+/// default, overridden by an explicit "+noise" modifier.
+ScenarioOptions legacyNoise(const ProfileSpec& spec,
+                            const ProfileRequest& req) {
+  ScenarioOptions opts;
+  opts.numIntervals = req.numIntervals;
+  opts.perturbation = spec.hasNoise ? spec.noise : req.perturbation;
+  opts.seed = spec.hasNoiseSeed ? spec.noiseSeed : req.seed;
+  return opts;
+}
+
+/// Noise options for the new shape sources: deterministic unless the spec
+/// carries a "+noise" modifier.
+ScenarioOptions shapeNoise(const ProfileSpec& spec,
+                           const ProfileRequest& req) {
+  ScenarioOptions opts = legacyNoise(spec, req);
+  if (!spec.hasNoise) opts.perturbation = 0.0;
+  return opts;
+}
+
+PowerProfile constantSource(const ProfileSpec& spec,
+                            const ProfileRequest& req) {
+  checkParams(spec, {"level"});
+  const double level = spec.paramDouble("level", 0.5);
+  CAWO_REQUIRE(level >= 0.0 && level <= 1.0,
+               "profile spec \"" + spec.text +
+                   "\": level must be in [0, 1]");
+  return profileFromShape([level](double) { return level; }, req.horizon,
+                          req.sumIdle, req.sumWork, shapeNoise(spec, req));
+}
+
+PowerProfile sineSource(const ProfileSpec& spec, const ProfileRequest& req) {
+  checkParams(spec, {"period", "amp", "phase", "mid"});
+  // Period and phase are measured in profile intervals, so with the
+  // default 24 intervals "period=24,phase=6" reads as a 24 h day starting
+  // six hours in — matching how the paper treats the horizon.
+  const int J = std::min<int>(req.numIntervals,
+                              static_cast<int>(req.horizon));
+  const double period = spec.paramDouble("period", static_cast<double>(J));
+  const double amp = spec.paramDouble("amp", 0.5);
+  const double phase = spec.paramDouble("phase", 0.0);
+  const double mid = spec.paramDouble("mid", 0.5);
+  CAWO_REQUIRE(period > 0.0,
+               "profile spec \"" + spec.text + "\": period must be positive");
+  CAWO_REQUIRE(amp >= 0.0 && amp <= 1.0,
+               "profile spec \"" + spec.text + "\": amp must be in [0, 1]");
+  CAWO_REQUIRE(mid >= 0.0 && mid <= 1.0,
+               "profile spec \"" + spec.text + "\": mid must be in [0, 1]");
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  return profileFromShape(
+      [=](double x) {
+        const double u = x * static_cast<double>(J); // interval units
+        return mid + amp * std::sin(kTwoPi * (u - phase) / period);
+      },
+      req.horizon, req.sumIdle, req.sumWork, shapeNoise(spec, req));
+}
+
+PowerProfile rampSource(const ProfileSpec& spec, const ProfileRequest& req) {
+  checkParams(spec, {"from", "to"});
+  const double from = spec.paramDouble("from", 0.0);
+  const double to = spec.paramDouble("to", 1.0);
+  CAWO_REQUIRE(from >= 0.0 && from <= 1.0 && to >= 0.0 && to <= 1.0,
+               "profile spec \"" + spec.text +
+                   "\": from/to must be in [0, 1]");
+  return profileFromShape(
+      [=](double x) { return from + (to - from) * x; }, req.horizon,
+      req.sumIdle, req.sumWork, shapeNoise(spec, req));
+}
+
+/// Stylised duck-curve *availability*: the inverse of the famous net-load
+/// duck — plenty of headroom in the midday solar belly, a deep trough
+/// during the evening ramp (x ≈ 0.8 of the day), modest supply overnight.
+double duckShape(double x) {
+  const auto bump = [](double x0, double width, double x1) {
+    const double d = (x1 - x0) / width;
+    return std::exp(-d * d);
+  };
+  return 0.35 + 0.55 * bump(0.54, 0.16, x) - 0.25 * bump(0.80, 0.07, x);
+}
+
+PowerProfile duckSource(const ProfileSpec& spec, const ProfileRequest& req) {
+  checkParams(spec, {});
+  return profileFromShape(duckShape, req.horizon, req.sumIdle, req.sumWork,
+                          shapeNoise(spec, req));
+}
+
+PowerProfile traceSource(const ProfileSpec& spec, const ProfileRequest& req) {
+  checkParams(spec, {"path", "repeat", "scale", "normalize"},
+              /*allowPositional=*/true);
+  std::string path = spec.param("path", "");
+  for (const ProfileParam& p : spec.params)
+    if (p.key.empty()) {
+      CAWO_REQUIRE(path.empty(), "profile spec \"" + spec.text +
+                                     "\": both a positional path and "
+                                     "path= were given");
+      path = p.value;
+    }
+  CAWO_REQUIRE(!path.empty(), "profile spec \"" + spec.text +
+                                  "\": trace needs a CSV path "
+                                  "(trace:file.csv or trace:path=file.csv)");
+  const bool repeat = spec.paramInt("repeat", 0) != 0;
+  const bool normalize = spec.paramInt("normalize", 0) != 0;
+  const double scale = spec.paramDouble("scale", 1.0);
+  CAWO_REQUIRE(scale > 0.0,
+               "profile spec \"" + spec.text + "\": scale must be positive");
+  CAWO_REQUIRE(!(normalize && spec.hasParam("scale")),
+               "profile spec \"" + spec.text +
+                   "\": scale and normalize are mutually exclusive");
+
+  // Campaigns build one instance per cell, each calling this generator;
+  // the trace file is immutable within a run, so parse it once per path
+  // (the cache is process-lifetime — editing a CSV mid-process is not
+  // supported).
+  const PowerProfile raw = [&path] {
+    static std::mutex mutex;
+    static std::map<std::string, PowerProfile> cache;
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(path);
+    if (it == cache.end())
+      it = cache.emplace(path, readProfileCsvFile(path)).first;
+    return it->second;
+  }();
+  CAWO_REQUIRE(repeat || raw.horizon() >= req.horizon,
+               "trace \"" + path + "\" covers only " +
+                   std::to_string(raw.horizon()) +
+                   " of the requested horizon " +
+                   std::to_string(req.horizon) +
+                   " — extend the CSV or add repeat=1 to tile it");
+
+  // Tile (if requested) and clip to exactly [0, horizon).
+  std::vector<Time> lengths;
+  std::vector<Power> greens;
+  Time covered = 0;
+  for (std::size_t j = 0; covered < req.horizon; ++j) {
+    const Interval& iv = raw.interval(j % raw.numIntervals());
+    const Time len = std::min<Time>(iv.length(), req.horizon - covered);
+    lengths.push_back(len);
+    greens.push_back(iv.green);
+    covered += len;
+  }
+
+  if (normalize) {
+    // Map the trace's own value range onto the instance's power band, so
+    // traces in arbitrary units (gCO2/kWh, MW, ...) stay meaningful for
+    // any platform. The range comes from the *full* trace, not the
+    // horizon-clipped window, so one spec calibrates identically across
+    // every deadline factor of a campaign. A flat trace sits at the band
+    // midpoint.
+    const Power gMin = req.sumIdle;
+    const Power gMax = req.sumIdle + (8 * req.sumWork) / 10;
+    Power lo = raw.interval(0).green, hi = lo;
+    for (const Interval& iv : raw.intervals()) {
+      lo = std::min(lo, iv.green);
+      hi = std::max(hi, iv.green);
+    }
+    for (Power& g : greens) {
+      g = hi == lo
+              ? gMin + (gMax - gMin) / 2
+              : static_cast<Power>(std::llround(
+                    static_cast<double>(gMin) +
+                    static_cast<double>(g - lo) *
+                        static_cast<double>(gMax - gMin) /
+                        static_cast<double>(hi - lo)));
+    }
+  } else if (scale != 1.0) {
+    for (Power& g : greens)
+      g = static_cast<Power>(std::llround(static_cast<double>(g) * scale));
+  }
+
+  if (spec.hasNoise && spec.noise > 0.0) {
+    Rng rng(spec.hasNoiseSeed ? spec.noiseSeed : req.seed);
+    for (Power& g : greens) {
+      const double f = 1.0 + rng.uniformReal(-spec.noise, spec.noise);
+      g = std::max<Power>(
+          0, static_cast<Power>(std::llround(static_cast<double>(g) * f)));
+    }
+  }
+
+  PowerProfile out;
+  for (std::size_t j = 0; j < lengths.size(); ++j)
+    out.appendInterval(lengths[j], greens[j]);
+  return out;
+}
+
+} // namespace
+
+void registerBuiltinProfileSources(ProfileSourceRegistry& registry) {
+  struct PaperScenario {
+    Scenario scenario;
+    const char* description;
+  };
+  // Thin wrappers over generateScenario, so the S1–S4 profiles stay
+  // bit-identical to the pre-registry generator (pinned by golden tests).
+  for (const PaperScenario& ps :
+       {PaperScenario{Scenario::S1,
+                      "inverted parabola — solar day, midday peak (paper)"},
+        PaperScenario{Scenario::S2,
+                      "decreasing parabola — observed from midday (paper)"},
+        PaperScenario{Scenario::S3,
+                      "24 h sine starting low — broad daylight bump (paper)"},
+        PaperScenario{Scenario::S4,
+                      "constant — storage/nuclear supply (paper)"}}) {
+    const std::string name = scenarioName(ps.scenario);
+    const Scenario scenario = ps.scenario;
+    registry.registerSource(
+        {name, name, ps.description},
+        [scenario](const ProfileSpec& spec, const ProfileRequest& req) {
+          checkParams(spec, {});
+          return generateScenario(scenario, req.horizon, req.sumIdle,
+                                  req.sumWork, legacyNoise(spec, req));
+        });
+  }
+  registry.registerSource(
+      {"constant", "constant:level=L",
+       "flat supply at fraction L of the power band (default 0.5)"},
+      constantSource);
+  registry.registerSource(
+      {"sine", "sine:period=P,amp=A,phase=F,mid=M",
+       "diurnal sine; period/phase in profile intervals (defaults: one "
+       "full cycle, amp 0.5)"},
+      sineSource);
+  registry.registerSource(
+      {"ramp", "ramp:from=A,to=B",
+       "linear supply ramp across the horizon (defaults 0 → 1)"},
+      rampSource);
+  registry.registerSource(
+      {"duck", "duck",
+       "stylised duck-curve availability: solar belly, evening trough"},
+      duckSource);
+  registry.registerSource(
+      {"trace", "trace:file.csv[,repeat=1][,scale=X|normalize=1]",
+       "measured grid/PV trace from a profile CSV (see docs/formats.md)"},
+      traceSource);
+}
+
+} // namespace cawo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "profile/profile_source.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -23,8 +24,10 @@ Scenario scenarioFromName(const std::string& name) {
        {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
     if (name == scenarioName(s)) return s;
   }
-  CAWO_REQUIRE(false, "unknown scenario \"" + name +
-                          "\" (expected S1, S2, S3 or S4)");
+  CAWO_REQUIRE(false,
+               "unknown scenario \"" + name + "\" — registered profile "
+                   "sources: " +
+                   ProfileSourceRegistry::global().syntaxSummary());
   return Scenario::S1; // unreachable
 }
 
@@ -51,8 +54,9 @@ double shapeValue(Scenario scenario, double x) {
 
 } // namespace
 
-PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
-                              Power sumWork, const ScenarioOptions& opts) {
+PowerProfile profileFromShape(const std::function<double(double)>& shape,
+                              Time horizon, Power sumIdle, Power sumWork,
+                              const ScenarioOptions& opts) {
   CAWO_REQUIRE(horizon > 0, "horizon must be positive");
   CAWO_REQUIRE(sumIdle >= 0 && sumWork >= 0, "negative power sums");
   CAWO_REQUIRE(opts.numIntervals >= 1, "need at least one interval");
@@ -72,7 +76,7 @@ PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
     const Time len = baseLen + (remainder > 0 ? 1 : 0);
     if (remainder > 0) --remainder;
     const double x = (static_cast<double>(j) + 0.5) / static_cast<double>(J);
-    double f = shapeValue(scenario, x);
+    double f = shape(x);
     f *= 1.0 + rng.uniformReal(-opts.perturbation, opts.perturbation);
     f = std::clamp(f, 0.0, 1.0);
     const auto green = static_cast<Power>(
@@ -81,6 +85,13 @@ PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
     profile.appendInterval(len, std::clamp(green, gMin, gMax));
   }
   return profile;
+}
+
+PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
+                              Power sumWork, const ScenarioOptions& opts) {
+  return profileFromShape(
+      [scenario](double x) { return shapeValue(scenario, x); }, horizon,
+      sumIdle, sumWork, opts);
 }
 
 } // namespace cawo

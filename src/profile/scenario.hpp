@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/power_profile.hpp"
@@ -29,7 +30,9 @@ enum class Scenario { S1, S2, S3, S4 };
 const char* scenarioName(Scenario s);
 
 /// Inverse of `scenarioName` ("S1" → Scenario::S1, …); throws
-/// PreconditionError for unknown names, listing the alternatives.
+/// PreconditionError for unknown names, listing every registered profile
+/// source and its spec syntax (see profile/profile_source.hpp — the open
+/// spec grammar supersedes this closed enum for new code).
 Scenario scenarioFromName(const std::string& name);
 
 struct ScenarioOptions {
@@ -43,5 +46,17 @@ struct ScenarioOptions {
 /// \param sumWork Σ of working powers over all (enhanced) processors.
 PowerProfile generateScenario(Scenario scenario, Time horizon, Power sumIdle,
                               Power sumWork, const ScenarioOptions& opts = {});
+
+/// Generate a profile from a normalised shape `f: [0, 1] → [0, 1]` with the
+/// paper's band mapping and noise model: the horizon splits into
+/// `opts.numIntervals` intervals (clamped to ≥ 1 time unit each), each
+/// interval's shape value at its midpoint is perturbed multiplicatively by
+/// ±`opts.perturbation`, clamped to [0, 1] and mapped into the band
+/// [Σ idle, Σ idle + 0.8 Σ work]. `generateScenario` is exactly this with
+/// the four Section 6.1 shapes; registered profile sources
+/// (profile_source.hpp) reuse it for new shapes.
+PowerProfile profileFromShape(const std::function<double(double)>& shape,
+                              Time horizon, Power sumIdle, Power sumWork,
+                              const ScenarioOptions& opts = {});
 
 } // namespace cawo

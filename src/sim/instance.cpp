@@ -11,8 +11,8 @@ namespace cawo {
 
 std::string InstanceSpec::label() const {
   return std::string(familyName(family)) + "-" + std::to_string(targetTasks) +
-         "/c" + std::to_string(nodesPerType) + "/" + scenarioName(scenario) +
-         "/d" + formatFixed(deadlineFactor, 1);
+         "/c" + std::to_string(nodesPerType) + "/" + scenario + "/d" +
+         formatFixed(deadlineFactor, 1);
 }
 
 Instance buildInstance(const InstanceSpec& spec) {
@@ -39,11 +39,16 @@ Instance buildInstance(const InstanceSpec& spec) {
   Power sumWork = 0;
   for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
 
-  ScenarioOptions sopts;
-  sopts.numIntervals = spec.numIntervals;
-  sopts.seed = spec.seed ^ 0x5CE11A21ULL;
-  PowerProfile profile = generateScenario(
-      spec.scenario, deadline, gc.totalIdlePower(), sumWork, sopts);
+  // Resolve the scenario spec through the profile-source registry; the
+  // request carries the legacy derived seed and default perturbation, so
+  // "S1" … "S4" reproduce the pre-registry profiles bit for bit.
+  ProfileRequest preq;
+  preq.horizon = deadline;
+  preq.sumIdle = gc.totalIdlePower();
+  preq.sumWork = sumWork;
+  preq.numIntervals = spec.numIntervals;
+  preq.seed = spec.seed ^ 0x5CE11A21ULL;
+  PowerProfile profile = generateProfile(spec.scenario, preq);
 
   return Instance{spec,
                   std::move(graph),

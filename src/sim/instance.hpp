@@ -8,7 +8,7 @@
 #include "core/platform.hpp"
 #include "core/power_profile.hpp"
 #include "core/task_graph.hpp"
-#include "profile/scenario.hpp"
+#include "profile/profile_source.hpp"
 #include "workflow/generators.hpp"
 
 /// \file instance.hpp
@@ -23,7 +23,10 @@ struct InstanceSpec {
   WorkflowFamily family = WorkflowFamily::Atacseq;
   int targetTasks = 200;
   int nodesPerType = 2;   ///< paper: 12 (small) / 24 (large)
-  Scenario scenario = Scenario::S1;
+  /// Power-profile spec resolved through the ProfileSourceRegistry: a
+  /// paper scenario name ("S1" … "S4") or any registered spec such as
+  /// "sine:period=24,amp=0.5" or "trace:grid.csv,repeat=1,normalize=1".
+  std::string scenario = "S1";
   double deadlineFactor = 1.5; ///< paper: 1.0, 1.5, 2.0, 3.0
   int numIntervals = 24;
   std::uint64_t seed = 1;

@@ -91,8 +91,7 @@ std::vector<InstanceSpec> fullGrid(WorkflowFamily family, int targetTasks,
                                    int nodesPerType, std::uint64_t seed,
                                    int numIntervals) {
   std::vector<InstanceSpec> specs;
-  for (const Scenario sc :
-       {Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4}) {
+  for (const std::string& sc : paperScenarioNames()) {
     for (const double f : {1.0, 1.5, 2.0, 3.0}) {
       InstanceSpec spec;
       spec.family = family;

@@ -1,9 +1,43 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
+#include "util/require.hpp"
+
 namespace cawo {
+
+double parseDoubleStrict(const std::string& what, const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0',
+               what + ": \"" + token + "\" is not a number");
+  return v;
+}
+
+std::int64_t parseInt64Strict(const std::string& what,
+                              const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
+               what + ": \"" + token + "\" is not an integer");
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t parseUint64Strict(const std::string& what,
+                                const std::string& token) {
+  CAWO_REQUIRE(!token.empty() && token[0] != '-',
+               what + ": \"" + token + "\" must be a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  CAWO_REQUIRE(end != token.c_str() && *end == '\0' && errno != ERANGE,
+               what + ": \"" + token + "\" is not a valid 64-bit integer");
+  return static_cast<std::uint64_t>(v);
+}
 
 std::string_view trim(std::string_view s) {
   std::size_t b = 0;

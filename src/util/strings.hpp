@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +9,16 @@
 /// Small string utilities shared by the DOT parser, CLI and table printers.
 
 namespace cawo {
+
+/// Strict numeric parsing: the whole token must be consumed and in range,
+/// or a PreconditionError is thrown whose message starts with `what`
+/// (e.g. `campaign key "tasks"`). Shared by the campaign parser and the
+/// profile-spec parser so both layers reject malformed values identically.
+double parseDoubleStrict(const std::string& what, const std::string& token);
+std::int64_t parseInt64Strict(const std::string& what,
+                              const std::string& token);
+std::uint64_t parseUint64Strict(const std::string& what,
+                                const std::string& token);
 
 /// Strip leading/trailing whitespace.
 std::string_view trim(std::string_view s);

@@ -1,0 +1,31 @@
+# Golden-output check for a bench binary: run it with fixed small-scale
+# flags and require its stdout to be byte-identical to the checked-in
+# golden file. Invoked from CTest (see the golden tests in CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DBENCH_ARGS="--tasks=30 ..." \
+#         -DGOLDEN=<file> -P run_bench_golden.cmake
+#
+# The goldens were captured from the pre-ProfileSource build; any diff
+# means a refactor changed experiment output, which is a bug unless the
+# golden is regenerated on purpose (see tests/golden/README.md).
+
+separate_arguments(BENCH_ARG_LIST UNIX_COMMAND "${BENCH_ARGS}")
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARG_LIST}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE errors
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${rc}: ${errors}")
+endif()
+
+file(READ ${GOLDEN} expected)
+
+if(NOT actual STREQUAL expected)
+  file(WRITE ${GOLDEN}.actual "${actual}")
+  message(FATAL_ERROR
+          "output of ${BENCH} ${BENCH_ARGS} diverged from ${GOLDEN} — "
+          "actual output written to ${GOLDEN}.actual")
+endif()

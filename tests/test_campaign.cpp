@@ -14,6 +14,7 @@
 #include "exp/campaign.hpp"
 #include "exp/campaign_runner.hpp"
 #include "exp/json.hpp"
+#include "profile/scenario.hpp"
 #include "sim/runner.hpp"
 #include "test_util.hpp"
 #include "util/require.hpp"
@@ -110,7 +111,7 @@ threads          = 2
   EXPECT_EQ(spec.bacassTasks, 25);
   EXPECT_EQ(spec.nodesPerType, (std::vector<int>{1, 2}));
   ASSERT_EQ(spec.scenarios.size(), 2u);
-  EXPECT_EQ(spec.scenarios[1], Scenario::S4);
+  EXPECT_EQ(spec.scenarios[1], "S4");
   EXPECT_EQ(spec.deadlineFactors, (std::vector<double>{1.5, 3.0}));
   EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 1001}));
   EXPECT_EQ(spec.numIntervals, 8);
@@ -193,10 +194,10 @@ TEST(CampaignSpec, ExpansionMatchesCellCountAndOrder) {
   EXPECT_EQ(cells[0].targetTasks, 40);
   EXPECT_EQ(cells[0].nodesPerType, 1);
   EXPECT_EQ(cells[0].seed, 1u);
-  EXPECT_EQ(cells[0].scenario, Scenario::S1);
+  EXPECT_EQ(cells[0].scenario, "S1");
   EXPECT_DOUBLE_EQ(cells[0].deadlineFactor, 1.5);
   EXPECT_DOUBLE_EQ(cells[1].deadlineFactor, 2.0);
-  EXPECT_EQ(cells[2].scenario, Scenario::S3);
+  EXPECT_EQ(cells[2].scenario, "S3");
   EXPECT_EQ(cells[4].seed, 2u);
   EXPECT_EQ(cells[8].nodesPerType, 2);
   EXPECT_EQ(cells[16].targetTasks, 80);
@@ -224,7 +225,7 @@ TEST(CarbonLowerBound, BoundsTheAsapScheduleOnRealInstances) {
   spec.family = WorkflowFamily::Methylseq;
   spec.targetTasks = 40;
   spec.nodesPerType = 1;
-  spec.scenario = Scenario::S1;
+  spec.scenario = "S1";
   spec.deadlineFactor = 1.5;
   spec.numIntervals = 8;
   spec.seed = 3;

@@ -17,7 +17,7 @@ TEST(Integration, InstanceBuildIsFullyDeterministic) {
   spec.family = WorkflowFamily::Methylseq;
   spec.targetTasks = 80;
   spec.nodesPerType = 1;
-  spec.scenario = Scenario::S3;
+  spec.scenario = "S3";
   spec.deadlineFactor = 1.5;
   spec.seed = 123;
   const Instance a = buildInstance(spec);
@@ -60,7 +60,7 @@ TEST(Integration, TightDeadlineStillYieldsValidSchedules) {
 
 TEST(Integration, RunSuiteMatchesSequentialExecution) {
   std::vector<InstanceSpec> specs;
-  for (const auto scenario : {Scenario::S1, Scenario::S2}) {
+  for (const char* scenario : {"S1", "S2"}) {
     InstanceSpec spec;
     spec.targetTasks = 40;
     spec.nodesPerType = 1;
@@ -111,7 +111,7 @@ TEST(Integration, CarbonAwareVariantsHelpOnLateGreenProfiles) {
     spec.family = WorkflowFamily::Atacseq;
     spec.targetTasks = 60;
     spec.nodesPerType = 1;
-    spec.scenario = Scenario::S1;
+    spec.scenario = "S1";
     spec.deadlineFactor = 3.0;
     spec.seed = seed;
     specs.push_back(spec);
@@ -133,7 +133,7 @@ TEST(Integration, LabelIsHumanReadable) {
   spec.family = WorkflowFamily::Eager;
   spec.targetTasks = 123;
   spec.nodesPerType = 2;
-  spec.scenario = Scenario::S2;
+  spec.scenario = "S2";
   spec.deadlineFactor = 1.5;
   EXPECT_EQ(spec.label(), "eager-123/c2/S2/d1.5");
 }

@@ -18,7 +18,7 @@ TEST(Smoke, EndToEndSmallInstance) {
   spec.family = WorkflowFamily::Atacseq;
   spec.targetTasks = 60;
   spec.nodesPerType = 1;
-  spec.scenario = Scenario::S1;
+  spec.scenario = "S1";
   spec.deadlineFactor = 2.0;
   spec.seed = 42;
 

@@ -24,7 +24,7 @@ InstanceSpec smallSpec() {
   spec.family = WorkflowFamily::Atacseq;
   spec.targetTasks = 40;
   spec.nodesPerType = 1;
-  spec.scenario = Scenario::S2;
+  spec.scenario = "S2";
   spec.deadlineFactor = 2.0;
   spec.numIntervals = 8;
   spec.seed = 97;

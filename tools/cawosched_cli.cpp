@@ -3,10 +3,11 @@
 // campaign. Full reference: docs/cli.md.
 //
 //   cawosched-cli --list-algos
+//   cawosched-cli --list-scenarios
 //   cawosched-cli --workflow=flow.dot [--profile=green.csv]
 //                 [--algo=<name|glob|comma list|all>] [--threads=N]
 //                 [--deadline-factor=2.0] [--nodes-per-type=2]
-//                 [--scenario=S1] [--intervals=24] [--alpha=0.5]
+//                 [--scenario=SPEC] [--intervals=24] [--alpha=0.5]
 //                 [--block-size=3] [--ls-radius=10]
 //                 [--bnb-max-nodes=N] [--bnb-time-limit=SEC]
 //                 [--out=schedule.csv] [--gantt] [--seed=1]
@@ -16,8 +17,10 @@
 //
 // The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
 // is built, and every selected solver runs against the profile. Without
-// --profile a synthetic scenario (--scenario) is generated over exactly
-// the deadline horizon. Per-solver diagnostics (carbon cost, wall time,
+// --profile a power profile is generated over exactly the deadline
+// horizon from any registered profile-source spec (--scenario accepts
+// "S1" … "S4", "sine:period=24,amp=0.5", "trace:grid.csv,repeat=1", … —
+// see --list-scenarios and docs/formats.md). Per-solver diagnostics (carbon cost, wall time,
 // optimality flag, ratio vs ASAP) come from the uniform SolveResult;
 // optionally the best schedule is written as CSV or an ASCII Gantt chart.
 //
@@ -40,7 +43,7 @@
 #include "exp/campaign_runner.hpp"
 #include "heft/heft.hpp"
 #include "profile/profile_io.hpp"
-#include "profile/scenario.hpp"
+#include "profile/profile_source.hpp"
 #include "sim/table.hpp"
 #include "solver/registry.hpp"
 #include "util/cli.hpp"
@@ -68,13 +71,15 @@ int runCampaignCommand(int argc, const char* const* argv) {
            "  [--threads=N] [--quiet] [--name=label] "
            "[--families=atacseq,eager,...]\n"
            "  [--tasks=a,b] [--bacass-tasks=N] [--nodes-per-type=a,b] "
-           "[--scenarios=S1,S2|all]\n"
+           "[--scenarios=SPEC,...|all]\n"
            "  [--deadline-factors=1.5,2.0] [--seeds=a,b] [--intervals=J] "
            "[--algos=SEL]\n"
            "  [--block-size=3] [--ls-radius=10]\n"
            "The campaign file holds the same keys as the flags "
            "(key = value lines or a JSON\nobject, see docs/formats.md); "
-           "flags override the file.\n";
+           "flags override the file. The scenarios axis takes\nany "
+           "registered profile spec (--list-scenarios), e.g. "
+           "S1,sine:period=24,amp=0.5,duck.\n";
     return 0;
   }
 
@@ -130,6 +135,21 @@ int listAlgos() {
   return 0;
 }
 
+int listScenarios() {
+  const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+  TextTable table({"source", "spec syntax", "description"});
+  for (const std::string& name : registry.names()) {
+    const ProfileSourceInfo& meta = registry.info(name);
+    table.addRow({meta.name, meta.syntax, meta.description});
+  }
+  table.print(std::cout);
+  std::cout << "\npass any spec via --scenario (single run) or "
+               "--scenarios (campaign axis);\nappend "
+               "\"+noise=A[,seed=N]\" for multiplicative forecast error. "
+               "Grammar: docs/formats.md.\n";
+  return 0;
+}
+
 /// Outcome of one solver run (or the reason it was skipped).
 struct CliRun {
   std::string name;
@@ -151,22 +171,27 @@ int main(int argc, char** argv) {
         {"workflow", "profile", "algo", "variant", "deadline-factor",
          "nodes-per-type", "scenario", "intervals", "green-heft", "alpha",
          "block-size", "ls-radius", "bnb-max-nodes", "bnb-time-limit",
-         "threads", "list-algos", "out", "gantt", "seed", "help"});
+         "threads", "list-algos", "list-scenarios", "out", "gantt", "seed",
+         "help"});
 
     if (args.has("list-algos")) return listAlgos();
+    if (args.has("list-scenarios")) return listScenarios();
     if (args.has("help") || !args.has("workflow")) {
       std::cout
           << "usage: cawosched-cli --workflow=flow.dot "
              "[--profile=green.csv] [--algo=name|glob|all]\n"
              "  [--threads=N] [--deadline-factor=2.0] [--nodes-per-type=2] "
-             "[--scenario=S1|S2|S3|S4]\n"
+             "[--scenario=SPEC]\n"
              "  [--intervals=24] [--alpha=0.5] [--block-size=3] "
              "[--ls-radius=10]\n"
              "  [--bnb-max-nodes=N] [--bnb-time-limit=SEC] "
              "[--out=schedule.csv] [--gantt] [--seed=1]\n"
-             "  cawosched-cli --list-algos\n"
+             "  cawosched-cli --list-algos | --list-scenarios\n"
              "  cawosched-cli campaign [--campaign=<file>] "
-             "[--out=results.json] [--summary] (see campaign --help)\n";
+             "[--out=results.json] [--summary] (see campaign --help)\n"
+             "SPEC is any registered profile source, e.g. S1, duck, "
+             "sine:period=24,amp=0.5,\ntrace:grid.csv,repeat=1 — see "
+             "--list-scenarios.\n";
       return args.has("help") ? 0 : 2;
     }
 
@@ -199,15 +224,13 @@ int main(int argc, char** argv) {
     } else {
       Power sumWork = 0;
       for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
-      const std::string name = args.getString("scenario", "S1");
-      Scenario scenario = Scenario::S1;
-      if (name == "S2") scenario = Scenario::S2;
-      else if (name == "S3") scenario = Scenario::S3;
-      else if (name == "S4") scenario = Scenario::S4;
-      else CAWO_REQUIRE(name == "S1", "unknown scenario: " + name);
-      profile = generateScenario(
-          scenario, deadline, gc.totalIdlePower(), sumWork,
-          {static_cast<int>(args.getInt("intervals", 24)), 0.1, seed});
+      ProfileRequest preq;
+      preq.horizon = deadline;
+      preq.sumIdle = gc.totalIdlePower();
+      preq.sumWork = sumWork;
+      preq.numIntervals = static_cast<int>(args.getInt("intervals", 24));
+      preq.seed = seed;
+      profile = generateProfile(args.getString("scenario", "S1"), preq);
     }
 
     // Solver selection: --algo wins, legacy --variant / --green-heft map
