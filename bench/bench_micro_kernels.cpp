@@ -21,6 +21,8 @@
 #include "core/interval_refinement.hpp"
 #include "core/local_search.hpp"
 #include "core/power_timeline.hpp"
+#include "core/schedule.hpp"
+#include "core/solve_context.hpp"
 #include "heft/heft.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profile_source.hpp"
@@ -61,6 +63,63 @@ void BM_EstLst(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstLst)->Arg(50)->Arg(200)->Arg(800);
+
+// -----------------------------------------------------------------------
+// Window maintenance: the paper-literal full O(N+E) resweep after every
+// placement versus the incremental WindowState worklist propagation.
+// Both kernels replay the identical placement trace (every node pinned at
+// its current EST in topological order), so the measured gap is purely
+// the maintenance strategy. The perf trajectory across PRs is recorded
+// via --out=BENCH_windows.json (see bench/README.md).
+// -----------------------------------------------------------------------
+void BM_WindowsFull(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const auto n = static_cast<std::size_t>(inst.gc.numNodes());
+  for (auto _ : state) {
+    std::vector<Time> est = computeEst(inst.gc);
+    std::vector<Time> lst = computeLst(inst.gc, inst.deadline);
+    Schedule partial(inst.gc.numNodes());
+    std::vector<bool> placed(n, false);
+    for (const TaskId v : inst.gc.topoOrder()) {
+      partial.setStart(v, est[static_cast<std::size_t>(v)]);
+      placed[static_cast<std::size_t>(v)] = true;
+      recomputeWindows(inst.gc, inst.deadline, partial, placed, est, lst);
+    }
+    benchmark::DoNotOptimize(est);
+    benchmark::DoNotOptimize(lst);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WindowsFull)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_WindowsIncremental(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const SolveContext ctx(inst.gc, inst.profile, inst.deadline);
+  ctx.initialEst(); // memoize outside the timed region, like the runners do
+  ctx.initialLst();
+  for (auto _ : state) {
+    WindowState ws = ctx.windowState();
+    for (const TaskId v : inst.gc.topoOrder()) ws.place(v, ws.est(v));
+    benchmark::DoNotOptimize(ws);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WindowsIncremental)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// Greedy end to end (pressWR — the most work per placement) on the same
+// instances, pinning the full-pipeline effect of the incremental engine.
+void BM_GreedySched(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const SolveContext ctx(inst.gc, inst.profile, inst.deadline);
+  GreedyOptions opts{BaseScore::Pressure, true, true, 3};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(scheduleGreedy(ctx, opts));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedySched)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)->Complexity();
 
 void BM_Heft(benchmark::State& state) {
   WorkflowGenOptions opts;

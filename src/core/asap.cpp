@@ -5,7 +5,10 @@
 namespace cawo {
 
 Schedule scheduleAsap(const EnhancedGraph& gc) {
-  const std::vector<Time> est = computeEst(gc);
+  return scheduleAsap(gc, computeEst(gc));
+}
+
+Schedule scheduleAsap(const EnhancedGraph& gc, const std::vector<Time>& est) {
   Schedule s(gc.numNodes());
   for (TaskId u = 0; u < gc.numNodes(); ++u)
     s.setStart(u, est[static_cast<std::size_t>(u)]);
@@ -13,7 +16,10 @@ Schedule scheduleAsap(const EnhancedGraph& gc) {
 }
 
 Time asapMakespan(const EnhancedGraph& gc) {
-  const std::vector<Time> est = computeEst(gc);
+  return asapMakespan(gc, computeEst(gc));
+}
+
+Time asapMakespan(const EnhancedGraph& gc, const std::vector<Time>& est) {
   Time m = 0;
   for (TaskId u = 0; u < gc.numNodes(); ++u)
     m = std::max(m, est[static_cast<std::size_t>(u)] + gc.len(u));

@@ -14,7 +14,14 @@ namespace cawo {
 /// Schedule every node of `gc` at its EST.
 Schedule scheduleAsap(const EnhancedGraph& gc);
 
+/// Same schedule from a precomputed EST vector (e.g. the one memoized by
+/// `SolveContext`), skipping the Kahn pass.
+Schedule scheduleAsap(const EnhancedGraph& gc, const std::vector<Time>& est);
+
 /// Makespan of the ASAP schedule (= the paper's `D`).
 Time asapMakespan(const EnhancedGraph& gc);
+
+/// Same makespan from a precomputed EST vector, skipping the Kahn pass.
+Time asapMakespan(const EnhancedGraph& gc, const std::vector<Time>& est);
 
 } // namespace cawo

@@ -1,6 +1,8 @@
 #include "core/cawosched.hpp"
 
+#include "core/solve_context.hpp"
 #include "util/require.hpp"
+#include "util/timer.hpp"
 
 namespace cawo {
 
@@ -43,16 +45,33 @@ std::vector<VariantSpec> greedyOnlyVariants() {
 Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
                     Time deadline, const VariantSpec& spec,
                     const CaWoParams& params) {
+  const SolveContext ctx(gc, profile, deadline);
+  return runVariant(ctx, spec, params);
+}
+
+Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
+                    const CaWoParams& params, VariantRunStats* stats) {
   GreedyOptions gopts;
   gopts.base = spec.base;
   gopts.weighted = spec.weighted;
   gopts.refined = spec.refined;
   gopts.blockSize = params.blockSize;
-  Schedule s = scheduleGreedy(gc, profile, deadline, gopts);
+
+  WallTimer timer;
+  Schedule s = scheduleGreedy(ctx, gopts);
+  if (stats) stats->greedyMs = timer.elapsedMs();
+
   if (spec.localSearch) {
     LocalSearchOptions lopts;
     lopts.radius = params.lsRadius;
-    localSearch(gc, profile, deadline, s, lopts);
+    timer.reset();
+    const LocalSearchStats ls =
+        localSearch(ctx.gc(), ctx.profile(), ctx.deadline(), s, lopts);
+    if (stats) {
+      stats->lsMs = timer.elapsedMs();
+      stats->lsRan = true;
+      stats->ls = ls;
+    }
   }
   return s;
 }

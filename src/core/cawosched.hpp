@@ -22,6 +22,8 @@
 
 namespace cawo {
 
+class SolveContext;
+
 struct VariantSpec {
   BaseScore base = BaseScore::Pressure;
   bool weighted = false;
@@ -48,9 +50,29 @@ struct CaWoParams {
   Time lsRadius = 10;
 };
 
+/// Per-phase diagnostics of one variant run: the greedy/local-search wall
+/// time split and, when the variant ran local search, its statistics.
+/// Surfaced through the solver stats map and the campaign JSON records so
+/// speedups are attributable per phase.
+struct VariantRunStats {
+  double greedyMs = 0.0; ///< wall time of the greedy phase
+  double lsMs = 0.0;     ///< wall time of the local-search phase (0 if none)
+  bool lsRan = false;    ///< the variant has the -LS suffix
+  LocalSearchStats ls;   ///< meaningful only when `lsRan`
+};
+
 /// Run one variant end to end: greedy phase, then (optionally) local search.
+/// Builds a throwaway `SolveContext`; prefer the context overload when
+/// several variants run on the same instance.
 Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
                     Time deadline, const VariantSpec& spec,
                     const CaWoParams& params = {});
+
+/// Same pipeline over a shared per-instance context. When `stats` is
+/// non-null it receives the per-phase wall-time split and the local-search
+/// statistics.
+Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
+                    const CaWoParams& params = {},
+                    VariantRunStats* stats = nullptr);
 
 } // namespace cawo

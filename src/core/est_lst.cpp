@@ -66,4 +66,133 @@ void recomputeWindows(const EnhancedGraph& gc, Time deadline,
   }
 }
 
+// ---------------------------------------------------------------------------
+// WindowState
+// ---------------------------------------------------------------------------
+
+WindowState::WindowState(const EnhancedGraph& gc, Time deadline)
+    : WindowState(gc, deadline, computeEst(gc), computeLst(gc, deadline)) {}
+
+WindowState::WindowState(const EnhancedGraph& gc, Time deadline,
+                         std::vector<Time> initialEst,
+                         std::vector<Time> initialLst)
+    : gc_(&gc),
+      deadline_(deadline),
+      est_(std::move(initialEst)),
+      lst_(std::move(initialLst)) {
+  const auto n = static_cast<std::size_t>(gc.numNodes());
+  CAWO_REQUIRE(est_.size() == n && lst_.size() == n,
+               "WindowState: initial window size mismatch");
+  placed_.assign(n, 0);
+  queuedFwd_.assign(n, 0);
+  queuedBwd_.assign(n, 0);
+  heapFwd_.reserve(64);
+  heapBwd_.reserve(64);
+  initTopoPositions();
+  for (std::size_t i = 0; i < n; ++i)
+    if (est_[i] > lst_[i]) ++negativeSlack_;
+}
+
+std::size_t WindowState::checked(TaskId v) const {
+  const auto i = static_cast<std::size_t>(v);
+  CAWO_ASSERT(i < est_.size(), "WindowState: node id out of range");
+  return i;
+}
+
+void WindowState::initTopoPositions() {
+  const auto& topo = gc_->topoOrder();
+  topoPos_.resize(topo.size());
+  for (std::size_t pos = 0; pos < topo.size(); ++pos)
+    topoPos_[static_cast<std::size_t>(topo[pos])] = static_cast<TaskId>(pos);
+}
+
+void WindowState::setEst(std::size_t i, Time value) {
+  const bool wasNegative = est_[i] > lst_[i];
+  est_[i] = value;
+  const bool isNegative = est_[i] > lst_[i];
+  if (isNegative && !wasNegative) ++negativeSlack_;
+  if (!isNegative && wasNegative) --negativeSlack_;
+}
+
+void WindowState::setLst(std::size_t i, Time value) {
+  const bool wasNegative = est_[i] > lst_[i];
+  lst_[i] = value;
+  const bool isNegative = est_[i] > lst_[i];
+  if (isNegative && !wasNegative) ++negativeSlack_;
+  if (!isNegative && wasNegative) --negativeSlack_;
+}
+
+void WindowState::place(TaskId v, Time start) {
+  const std::size_t iv = checked(v);
+  CAWO_REQUIRE(placed_[iv] == 0,
+               "WindowState::place: task already placed");
+  placed_[iv] = 1;
+  ++numPlaced_;
+  setEst(iv, start);
+  setLst(iv, start);
+
+  // The heaps order nodes by topological position so that every popped
+  // node's relevant neighbours (preds forward, succs backward) are already
+  // final — each affected node is recomputed exactly once per placement.
+  const auto fwdLess = [&](TaskId a, TaskId b) {
+    // std::push_heap builds a max-heap; invert for min-topo-position first.
+    return topoPos_[static_cast<std::size_t>(a)] >
+           topoPos_[static_cast<std::size_t>(b)];
+  };
+  const auto bwdLess = [&](TaskId a, TaskId b) {
+    return topoPos_[static_cast<std::size_t>(a)] <
+           topoPos_[static_cast<std::size_t>(b)];
+  };
+  const auto pushFwd = [&](TaskId u) {
+    auto& queued = queuedFwd_[static_cast<std::size_t>(u)];
+    if (queued) return;
+    queued = 1;
+    heapFwd_.push_back(u);
+    std::push_heap(heapFwd_.begin(), heapFwd_.end(), fwdLess);
+  };
+  const auto pushBwd = [&](TaskId u) {
+    auto& queued = queuedBwd_[static_cast<std::size_t>(u)];
+    if (queued) return;
+    queued = 1;
+    heapBwd_.push_back(u);
+    std::push_heap(heapBwd_.begin(), heapBwd_.end(), bwdLess);
+  };
+
+  for (const TaskId s : gc_->succs(v))
+    if (placed_[static_cast<std::size_t>(s)] == 0) pushFwd(s);
+  for (const TaskId p : gc_->preds(v))
+    if (placed_[static_cast<std::size_t>(p)] == 0) pushBwd(p);
+
+  while (!heapFwd_.empty()) {
+    std::pop_heap(heapFwd_.begin(), heapFwd_.end(), fwdLess);
+    const TaskId u = heapFwd_.back();
+    heapFwd_.pop_back();
+    const std::size_t iu = static_cast<std::size_t>(u);
+    queuedFwd_[iu] = 0;
+    Time ready = 0;
+    for (const TaskId p : gc_->preds(u))
+      ready = std::max(ready, est_[static_cast<std::size_t>(p)] + gc_->len(p));
+    if (ready == est_[iu]) continue; // bound unchanged — stop propagating
+    setEst(iu, ready);
+    for (const TaskId s : gc_->succs(u))
+      if (placed_[static_cast<std::size_t>(s)] == 0) pushFwd(s);
+  }
+
+  while (!heapBwd_.empty()) {
+    std::pop_heap(heapBwd_.begin(), heapBwd_.end(), bwdLess);
+    const TaskId u = heapBwd_.back();
+    heapBwd_.pop_back();
+    const std::size_t iu = static_cast<std::size_t>(u);
+    queuedBwd_[iu] = 0;
+    Time latest = deadline_ - gc_->len(u);
+    for (const TaskId s : gc_->succs(u))
+      latest =
+          std::min(latest, lst_[static_cast<std::size_t>(s)] - gc_->len(u));
+    if (latest == lst_[iu]) continue;
+    setLst(iu, latest);
+    for (const TaskId p : gc_->preds(u))
+      if (placed_[static_cast<std::size_t>(p)] == 0) pushBwd(p);
+  }
+}
+
 } // namespace cawo

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/enhanced_graph.hpp"
@@ -14,6 +16,15 @@
 /// The slack of v is LST(v) − EST(v); a feasible instance has slack ≥ 0 for
 /// every node (guaranteed whenever the deadline is at least the ASAP
 /// makespan).
+///
+/// Two ways to maintain the windows of a partially scheduled instance:
+///   * `recomputeWindows` — the paper-literal full two-pass sweep, O(N+E)
+///     per placement; kept as the test oracle.
+///   * `WindowState` — incremental worklist propagation: pinning one task
+///     only affects the ancestor/descendant cone reachable through still
+///     unplaced nodes, so each placement touches only the nodes whose
+///     bound actually changes (see DESIGN.md, "Incremental scheduling
+///     engine").
 
 namespace cawo {
 
@@ -25,11 +36,83 @@ std::vector<Time> computeLst(const EnhancedGraph& gc, Time deadline);
 
 /// EST/LST conditioned on a partial schedule: nodes with a start time in
 /// `partial` are pinned (EST = LST = σ(u)); the windows of the remaining
-/// nodes tighten accordingly. Used by the greedy scheduler after each
-/// placement.
+/// nodes tighten accordingly. The original full-sweep formulation — the
+/// greedy scheduler now uses `WindowState`, which maintains exactly the
+/// same fixpoint incrementally; this remains the oracle the property
+/// tests compare against.
 void recomputeWindows(const EnhancedGraph& gc, Time deadline,
                       const Schedule& partial,
                       const std::vector<bool>& placed, std::vector<Time>& est,
                       std::vector<Time>& lst);
+
+/// Incrementally maintained EST/LST windows of a partially scheduled
+/// instance.
+///
+/// Invariant: after any sequence of `place` calls, `est()`/`lst()` equal
+/// what `recomputeWindows` would produce for the same placement set —
+/// bit for bit. `place(v, s)` pins EST(v) = LST(v) = s and repairs the
+/// fixpoint by worklist propagation: the forward (EST) worklist is
+/// processed in topological order, the backward (LST) worklist in reverse
+/// topological order, and every popped node is recomputed exactly from
+/// its neighbours, so each node is processed at most once per placement
+/// and propagation stops as soon as a bound stops changing. Placed nodes
+/// stay pinned and absorb propagation.
+///
+/// A node with EST > LST has infeasible (negative) slack; the count of
+/// such nodes is maintained incrementally so feasibility checks stay O(1).
+class WindowState {
+public:
+  /// Initial windows of an unscheduled instance (full Kahn passes).
+  WindowState(const EnhancedGraph& gc, Time deadline);
+
+  /// Seed from precomputed *initial* windows (must equal `computeEst` /
+  /// `computeLst` output — memoized by `SolveContext`); avoids the full
+  /// passes when they are already known.
+  WindowState(const EnhancedGraph& gc, Time deadline,
+              std::vector<Time> initialEst, std::vector<Time> initialLst);
+
+  const EnhancedGraph& graph() const { return *gc_; }
+  Time deadline() const { return deadline_; }
+
+  Time est(TaskId v) const { return est_[checked(v)]; }
+  Time lst(TaskId v) const { return lst_[checked(v)]; }
+  const std::vector<Time>& estAll() const { return est_; }
+  const std::vector<Time>& lstAll() const { return lst_; }
+
+  bool placed(TaskId v) const { return placed_[checked(v)] != 0; }
+  std::size_t numPlaced() const { return numPlaced_; }
+
+  /// Pin task `v` at `start` and propagate the window change through the
+  /// affected cone. `v` must not already be placed. Any start time is
+  /// accepted (a start outside the current window simply drives slacks
+  /// negative, exactly as the oracle would).
+  void place(TaskId v, Time start);
+
+  /// Number of nodes whose window is currently empty (EST > LST).
+  std::size_t negativeSlackCount() const { return negativeSlack_; }
+
+  /// True iff every node still has a non-empty window.
+  bool feasible() const { return negativeSlack_ == 0; }
+
+private:
+  std::size_t checked(TaskId v) const;
+  void setEst(std::size_t i, Time value);
+  void setLst(std::size_t i, Time value);
+  void initTopoPositions();
+
+  const EnhancedGraph* gc_ = nullptr;
+  Time deadline_ = 0;
+  std::vector<Time> est_, lst_;
+  std::vector<std::uint8_t> placed_;
+  std::vector<TaskId> topoPos_; ///< node id → position in topo order
+  std::size_t negativeSlack_ = 0;
+  std::size_t numPlaced_ = 0;
+
+  // Worklist scratch, kept across `place` calls to avoid reallocation.
+  // Binary heaps ordered by topological position (min-heap forward,
+  // max-heap backward) with membership flags for deduplication.
+  std::vector<TaskId> heapFwd_, heapBwd_;
+  std::vector<std::uint8_t> queuedFwd_, queuedBwd_;
+};
 
 } // namespace cawo

@@ -4,57 +4,60 @@
 
 #include "core/budget_tree.hpp"
 #include "core/est_lst.hpp"
-#include "core/interval_refinement.hpp"
+#include "core/solve_context.hpp"
 #include "util/require.hpp"
 
 namespace cawo {
 
 Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
                         Time deadline, const GreedyOptions& opts) {
-  CAWO_REQUIRE(deadline > 0, "deadline must be positive");
-  CAWO_REQUIRE(profile.horizon() >= deadline,
+  const SolveContext ctx(gc, profile, deadline);
+  return scheduleGreedy(ctx, opts);
+}
+
+Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
+  const EnhancedGraph& gc = ctx.gc();
+  const PowerProfile& profile = ctx.profile();
+  CAWO_REQUIRE(ctx.deadline() > 0, "deadline must be positive");
+  CAWO_REQUIRE(profile.horizon() >= ctx.deadline(),
                "power profile must cover the deadline");
 
-  const auto n = static_cast<std::size_t>(gc.numNodes());
-  std::vector<Time> est = computeEst(gc);
-  std::vector<Time> lst = computeLst(gc, deadline);
-  for (std::size_t i = 0; i < n; ++i)
-    CAWO_REQUIRE(est[i] <= lst[i],
-                 "infeasible instance: deadline below ASAP makespan");
+  WindowState windows = ctx.windowState();
+  CAWO_REQUIRE(windows.feasible(),
+               "infeasible instance: deadline below ASAP makespan");
 
   // Working interval set: original or k-block-refined subdivision.
-  std::vector<Interval> working;
-  if (opts.refined) {
-    working = refineIntervals(gc, profile, opts.blockSize);
-  } else {
-    working.assign(profile.intervals().begin(), profile.intervals().end());
-  }
   std::vector<Time> begins;
   std::vector<Power> budgets;
-  begins.reserve(working.size());
-  budgets.reserve(working.size());
-  for (const Interval& iv : working) {
-    begins.push_back(iv.begin);
-    budgets.push_back(iv.green);
+  const auto loadIntervals = [&](std::span<const Interval> working) {
+    begins.reserve(working.size());
+    budgets.reserve(working.size());
+    for (const Interval& iv : working) {
+      begins.push_back(iv.begin);
+      budgets.push_back(iv.green);
+    }
+  };
+  if (opts.refined) {
+    loadIntervals(ctx.refinedIntervals(opts.blockSize));
+  } else {
+    loadIntervals(profile.intervals());
   }
   BudgetTree tree(std::move(begins), std::move(budgets), profile.horizon());
 
   // Score-based processing order (scores use the *initial* EST/LST windows,
   // as in the paper; the windows then tighten as tasks get placed).
-  const std::vector<TaskId> order =
-      scoreOrder(gc, est, lst, ScoreOptions{opts.base, opts.weighted});
+  const std::vector<TaskId>& order =
+      ctx.scoreOrder(ScoreOptions{opts.base, opts.weighted});
 
   Schedule schedule(gc.numNodes());
-  std::vector<bool> placed(n, false);
+  const std::size_t n = order.size();
 
-  for (const TaskId v : order) {
-    const auto iv = static_cast<std::size_t>(v);
-    Time start;
-    const auto best = tree.maxInRange(est[iv], lst[iv]);
-    start = best.found ? best.begin : est[iv];
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId v = order[i];
+    const auto best = tree.maxInRange(windows.est(v), windows.lst(v));
+    const Time start = best.found ? best.begin : windows.est(v);
 
     schedule.setStart(v, start);
-    placed[iv] = true;
 
     const Time finish = start + gc.len(v);
     const ProcId p = gc.procOf(v);
@@ -63,7 +66,9 @@ Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
     tree.consume(start, std::min(finish, profile.horizon()),
                  gc.idlePower(p) + gc.workPower(p));
 
-    recomputeWindows(gc, deadline, schedule, placed, est, lst);
+    // The update after the last placement is dead — no window is read
+    // again — so it is skipped entirely.
+    if (i + 1 < n) windows.place(v, start);
   }
   return schedule;
 }

@@ -15,9 +15,15 @@
 /// reachable, the task starts at EST(v). After placement, the working
 /// intervals are split at the task's boundaries, their budgets are reduced
 /// by P_idle + P_work of the task's processor, and the EST/LST windows of
-/// the remaining tasks are re-tightened.
+/// the remaining tasks are re-tightened — incrementally, via
+/// `WindowState` worklist propagation, instead of the paper-literal full
+/// sweep (same fixpoint, so the schedules are bit-identical). The window
+/// update after the *last* placement is dead (nobody reads the windows
+/// again) and is skipped.
 
 namespace cawo {
+
+class SolveContext;
 
 struct GreedyOptions {
   BaseScore base = BaseScore::Pressure;
@@ -30,7 +36,13 @@ struct GreedyOptions {
 
 /// Compute a greedy carbon-aware schedule. The deadline must be feasible
 /// (≥ ASAP makespan) and the profile horizon must cover the deadline.
+/// Builds a throwaway `SolveContext`; prefer the context overload when
+/// several variants run on the same instance.
 Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
                         Time deadline, const GreedyOptions& opts);
+
+/// Same algorithm, drawing the initial windows, the refined interval set
+/// and the score order from the shared per-instance context.
+Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts);
 
 } // namespace cawo

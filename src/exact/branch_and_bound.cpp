@@ -29,10 +29,12 @@ struct SearchState {
   WallTimer timer;
 
   SearchState(const EnhancedGraph& g, const PowerProfile& p, Time d,
-              const BnbOptions& o)
+              const BnbOptions& o, const std::vector<Time>* initialEst,
+              const std::vector<Time>* initialLst)
       : gc(g), profile(p), deadline(d), opts(o), order(g.topoOrder()),
-        lst(computeLst(g, d)), timeline(p, g.totalIdlePower()),
-        current(g.numNodes()), best(scheduleAsap(g)),
+        lst(initialLst ? *initialLst : computeLst(g, d)),
+        timeline(p, g.totalIdlePower()), current(g.numNodes()),
+        best(initialEst ? scheduleAsap(g, *initialEst) : scheduleAsap(g)),
         bestCost(evaluateCost(g, p, best)) {}
 
   void dfs(std::size_t depth) {
@@ -69,14 +71,17 @@ struct SearchState {
 } // namespace
 
 BnbResult solveExact(const EnhancedGraph& gc, const PowerProfile& profile,
-                     Time deadline, const BnbOptions& opts) {
+                     Time deadline, const BnbOptions& opts,
+                     const std::vector<Time>* initialEst,
+                     const std::vector<Time>* initialLst) {
   CAWO_REQUIRE(deadline > 0, "deadline must be positive");
   CAWO_REQUIRE(profile.horizon() >= deadline,
                "profile must cover the deadline");
-  CAWO_REQUIRE(asapMakespan(gc) <= deadline,
+  CAWO_REQUIRE((initialEst ? asapMakespan(gc, *initialEst)
+                           : asapMakespan(gc)) <= deadline,
                "infeasible instance: deadline below ASAP makespan");
 
-  SearchState state(gc, profile, deadline, opts);
+  SearchState state(gc, profile, deadline, opts, initialEst, initialLst);
   state.dfs(0);
 
   BnbResult res;

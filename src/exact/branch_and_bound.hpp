@@ -34,8 +34,14 @@ struct BnbResult {
 
 /// Solve the instance to optimality (within the given budgets). If a budget
 /// is exhausted, the best incumbent found so far is returned with
-/// `provedOptimal == false`.
+/// `provedOptimal == false`. `initialEst`/`initialLst` optionally inject
+/// the precomputed initial windows (e.g. from a shared `SolveContext`) so
+/// the feasibility check, ASAP incumbent and static latest starts skip
+/// their Kahn passes; when present they must equal `computeEst` /
+/// `computeLst` output for (gc, deadline).
 BnbResult solveExact(const EnhancedGraph& gc, const PowerProfile& profile,
-                     Time deadline, const BnbOptions& opts = {});
+                     Time deadline, const BnbOptions& opts = {},
+                     const std::vector<Time>* initialEst = nullptr,
+                     const std::vector<Time>* initialLst = nullptr);
 
 } // namespace cawo

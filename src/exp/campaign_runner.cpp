@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/carbon_cost.hpp"
+#include "core/solve_context.hpp"
 #include "exp/json.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
@@ -25,6 +26,32 @@ constexpr const char* kSchemaId = "cawosched-campaign-v1";
 
 double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
 
+/// Copy the per-phase diagnostics the CaWoSched-style adapters publish in
+/// the solver stats map into the typed record fields (see
+/// docs/formats.md, "Campaign result JSON").
+void harvestPhaseStats(const std::map<std::string, std::int64_t>& stats,
+                       CampaignRecord& record) {
+  const auto find = [&](const char* key, std::int64_t& out) {
+    const auto it = stats.find(key);
+    if (it == stats.end()) return false;
+    out = it->second;
+    return true;
+  };
+  std::int64_t us = 0;
+  if (find("greedy-us", us)) {
+    record.hasPhaseSplit = true;
+    record.greedyMs = static_cast<double>(us) / 1000.0;
+  }
+  if (find("ls-us", us)) {
+    record.hasLocalSearch = true;
+    record.lsMs = static_cast<double>(us) / 1000.0;
+    find("ls-rounds", record.lsRounds);
+    find("ls-moves", record.lsMoves);
+    find("ls-initial-cost", record.lsInitialCost);
+    find("ls-final-cost", record.lsFinalCost);
+  }
+}
+
 /// Solve every selected solver on one built instance and fill both the
 /// suite-compatible InstanceResult and the campaign records. The solve
 /// path mirrors runSolversOnInstance exactly (same SolveRequest fields,
@@ -39,12 +66,17 @@ void runInstanceCell(const Instance& instance,
   result.numNodes = instance.gc.numNodes();
   result.runs.reserve(solvers.size());
 
+  // One shared context per instance, exactly like the suite runner.
+  const SolveContext context(instance.gc, instance.profile,
+                             instance.deadline);
+
   SolveRequest request;
   request.gc = &instance.gc;
   request.profile = &instance.profile;
   request.deadline = instance.deadline;
   request.graph = &instance.graph;
   request.platform = &instance.platform;
+  request.context = &context;
   request.options = options;
 
   const Cost lowerBound = carbonLowerBound(instance.gc, instance.profile);
@@ -71,6 +103,7 @@ void runInstanceCell(const Instance& instance,
     record.wallMs = solved.wallMs;
     record.feasible = solved.feasible;
     record.provedOptimal = solved.provedOptimal;
+    harvestPhaseStats(solved.stats, record);
     result.runs.push_back(
         {solvers[s], solved.cost, solved.wallMs, solved.provedOptimal});
   }
@@ -215,6 +248,23 @@ void writeRecord(JsonWriter& w, const CampaignRecord& r) {
   w.key("feasible").value(r.feasible);
   w.key("proved_optimal").value(r.provedOptimal);
   w.key("skipped").value(r.skipped);
+  // Phase split + local-search diagnostics (appended in schema v1:
+  // consumers key on presence, null means "not a phased/LS solver").
+  if (!r.hasPhaseSplit) w.key("greedy_ms").null();
+  else w.key("greedy_ms").value(r.greedyMs);
+  if (!r.hasLocalSearch) {
+    w.key("ls_ms").null();
+    w.key("ls_rounds").null();
+    w.key("ls_moves").null();
+    w.key("ls_initial_cost").null();
+    w.key("ls_final_cost").null();
+  } else {
+    w.key("ls_ms").value(r.lsMs);
+    w.key("ls_rounds").value(r.lsRounds);
+    w.key("ls_moves").value(r.lsMoves);
+    w.key("ls_initial_cost").value(static_cast<std::int64_t>(r.lsInitialCost));
+    w.key("ls_final_cost").value(static_cast<std::int64_t>(r.lsFinalCost));
+  }
   w.endObject();
 }
 

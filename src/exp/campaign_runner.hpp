@@ -52,6 +52,20 @@ struct CampaignRecord {
   /// baseline 0 with own cost > 0, own solve infeasible, or the cell was
   /// skipped). Written as null in JSON.
   double ratioVsBaseline = 0.0;
+
+  /// Greedy/local-search phase split, harvested from the solver stats map
+  /// ("greedy-us"/"ls-us"): present for CaWoSched-style solvers
+  /// (`hasPhaseSplit`), null in JSON otherwise. `lsMs` and the
+  /// `LocalSearchStats` mirror below are only meaningful for -LS variants
+  /// (`hasLocalSearch`).
+  bool hasPhaseSplit = false;
+  double greedyMs = 0.0;
+  double lsMs = 0.0;
+  bool hasLocalSearch = false;
+  std::int64_t lsRounds = 0;      ///< rounds incl. the final gainless one
+  std::int64_t lsMoves = 0;       ///< improving moves applied
+  Cost lsInitialCost = 0;         ///< carbon cost entering local search
+  Cost lsFinalCost = 0;           ///< carbon cost leaving local search
 };
 
 /// Per-solver aggregate over every instance the solver ran on.

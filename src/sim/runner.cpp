@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include "core/solve_context.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
 
@@ -33,12 +34,19 @@ InstanceResult runSolversOnInstance(const Instance& instance,
   result.numNodes = instance.gc.numNodes();
   result.runs.reserve(solvers.size());
 
+  // One shared context per instance: every selected solver reuses the
+  // memoized initial windows, score orders and refined interval sets
+  // (identical results, computed once instead of once per solver).
+  const SolveContext context(instance.gc, instance.profile,
+                             instance.deadline);
+
   SolveRequest request;
   request.gc = &instance.gc;
   request.profile = &instance.profile;
   request.deadline = instance.deadline;
   request.graph = &instance.graph;
   request.platform = &instance.platform;
+  request.context = &context;
   request.options = options;
 
   const SolverRegistry& registry = SolverRegistry::global();

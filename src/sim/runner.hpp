@@ -12,7 +12,10 @@
 /// is run on experiment instances, every schedule is validated, and carbon
 /// cost plus running time are recorded. Instances are processed in
 /// parallel across hardware threads; every run is deterministic, so the
-/// parallelism never changes the results.
+/// parallelism never changes the results. All solvers selected for one
+/// instance share a `SolveContext` (memoized initial windows, refined
+/// intervals, score orders), so per-instance precomputation is paid once
+/// per instance, not once per solver.
 ///
 /// The paper's figure set uses the *suite selection* — "ASAP" followed by
 /// the 16 CaWoSched variants in canonical order; `algorithmNames()` and

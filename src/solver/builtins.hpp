@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <string>
+
 #include "solver/registry.hpp"
 
 /// \file builtins.hpp
@@ -9,8 +13,17 @@
 
 namespace cawo {
 
+struct VariantRunStats;
+
 /// "ASAP" and the 16 CaWoSched variants (src/core).
 void registerCoreSolvers(SolverRegistry& registry);
+
+/// Translate a CaWoSched variant run's phase diagnostics into the shared
+/// solver stats vocabulary (greedy-us, ls-us, ls-rounds, ls-moves,
+/// ls-initial-cost, ls-final-cost) — used by the core adapters and the
+/// GreenHEFT second pass alike, so campaign records read one schema.
+void fillPhaseStats(const VariantRunStats& run,
+                    std::map<std::string, std::int64_t>& stats);
 
 /// The two-pass "greenheft" pipeline (src/heft), alpha-parameterisable as
 /// "greenheft[alpha]".

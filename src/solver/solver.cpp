@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/carbon_cost.hpp"
+#include "core/solve_context.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
 
@@ -76,6 +77,14 @@ SolveResult Solver::solve(const SolveRequest& request) const {
                  "solver '" + meta.name +
                      "' re-runs the mapping pass and needs "
                      "SolveRequest.graph and SolveRequest.platform");
+  }
+  if (request.context != nullptr) {
+    CAWO_REQUIRE(&request.context->gc() == request.gc &&
+                     &request.context->profile() == request.profile &&
+                     request.context->deadline() == request.deadline,
+                 "SolveRequest.context describes a different instance than "
+                 "the request (solver '" +
+                     meta.name + "')");
   }
 
   WallTimer timer;

@@ -32,6 +32,8 @@
 
 namespace cawo {
 
+class SolveContext;
+
 /// Static metadata and capability flags of a solver.
 struct SolverInfo {
   std::string name;        ///< registry key, e.g. "pressWR-LS"
@@ -84,6 +86,15 @@ struct SolveRequest {
 
   const TaskGraph* graph = nullptr;
   const Platform* platform = nullptr;
+
+  /// Optional shared per-instance memoization (initial EST/LST windows,
+  /// refined interval sets, score orders, ASAP makespan). When set it must
+  /// describe exactly this request's (gc, profile, deadline) — enforced by
+  /// `Solver::solve`. Suite and campaign runners create one context per
+  /// instance so every selected solver reuses the same artifacts; solvers
+  /// without a context compute (or build) what they need themselves, with
+  /// identical results either way.
+  const SolveContext* context = nullptr;
 
   SolverOptions options;
 };

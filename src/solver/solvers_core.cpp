@@ -1,11 +1,28 @@
+#include <cmath>
+#include <optional>
+
 #include "core/asap.hpp"
 #include "core/cawosched.hpp"
+#include "core/solve_context.hpp"
 #include "solver/builtins.hpp"
 #include "util/require.hpp"
 
 /// \file solvers_core.cpp
 /// Solver adapters over the core algorithm family: the carbon-unaware
 /// ASAP baseline and the 16 CaWoSched heuristics.
+///
+/// Both adapters consume `SolveRequest::context` when the caller provides
+/// one (the suite and campaign runners do), so the initial windows, score
+/// orders and refined interval sets are computed once per instance; a
+/// private context is built otherwise. CaWoSched runs additionally report
+/// the greedy/local-search phase split (and the local-search statistics)
+/// through the solver stats map:
+///   greedy-us        greedy-phase wall time, microseconds
+///   ls-us            local-search wall time, microseconds (LS variants)
+///   ls-rounds        local-search rounds (including the final gainless one)
+///   ls-moves         improving moves applied
+///   ls-initial-cost  carbon cost entering local search
+///   ls-final-cost    carbon cost leaving local search
 ///
 /// CaWoSched options (all optional):
 ///   block-size  int   refinement block size k (paper: 3)
@@ -38,7 +55,9 @@ public:
 protected:
   RawResult doSolve(const SolveRequest& request) const override {
     RawResult raw;
-    raw.schedule = scheduleAsap(*request.gc);
+    raw.schedule = request.context
+                       ? scheduleAsap(*request.gc, request.context->initialEst())
+                       : scheduleAsap(*request.gc);
     return raw;
   }
 };
@@ -62,10 +81,18 @@ public:
 
 protected:
   RawResult doSolve(const SolveRequest& request) const override {
+    std::optional<SolveContext> local;
+    const SolveContext* ctx = request.context;
+    if (ctx == nullptr) {
+      local.emplace(*request.gc, *request.profile, request.deadline);
+      ctx = &*local;
+    }
+
+    VariantRunStats run;
     RawResult raw;
     raw.schedule =
-        runVariant(*request.gc, *request.profile, request.deadline, spec_,
-                   paramsFromOptions(request.options));
+        runVariant(*ctx, spec_, paramsFromOptions(request.options), &run);
+    fillPhaseStats(run, raw.stats);
     return raw;
   }
 
@@ -74,6 +101,18 @@ private:
 };
 
 } // namespace
+
+void fillPhaseStats(const VariantRunStats& run,
+                    std::map<std::string, std::int64_t>& stats) {
+  stats["greedy-us"] =
+      static_cast<std::int64_t>(std::llround(run.greedyMs * 1000.0));
+  if (!run.lsRan) return;
+  stats["ls-us"] = static_cast<std::int64_t>(std::llround(run.lsMs * 1000.0));
+  stats["ls-rounds"] = static_cast<std::int64_t>(run.ls.rounds);
+  stats["ls-moves"] = static_cast<std::int64_t>(run.ls.movesApplied);
+  stats["ls-initial-cost"] = static_cast<std::int64_t>(run.ls.initialCost);
+  stats["ls-final-cost"] = static_cast<std::int64_t>(run.ls.finalCost);
+}
 
 void registerCoreSolvers(SolverRegistry& registry) {
   registry.registerFactory(

@@ -1,3 +1,4 @@
+#include "core/solve_context.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "exact/single_proc_dp.hpp"
 #include "solver/builtins.hpp"
@@ -42,8 +43,14 @@ protected:
     opts.timeLimitSec =
         request.options.getDouble("time-limit-sec", opts.timeLimitSec);
 
+    // A shared context supplies the initial windows, so the feasibility
+    // check, the ASAP incumbent and the static latest starts skip their
+    // Kahn passes.
+    const SolveContext* ctx = request.context;
     const BnbResult bnb =
-        solveExact(*request.gc, *request.profile, request.deadline, opts);
+        solveExact(*request.gc, *request.profile, request.deadline, opts,
+                   ctx ? &ctx->initialEst() : nullptr,
+                   ctx ? &ctx->initialLst() : nullptr);
 
     RawResult raw;
     raw.schedule = bnb.schedule;

@@ -2,6 +2,7 @@
 
 #include "core/asap.hpp"
 #include "core/cawosched.hpp"
+#include "core/solve_context.hpp"
 #include "heft/green_heft.hpp"
 #include "solver/builtins.hpp"
 #include "util/require.hpp"
@@ -84,8 +85,15 @@ protected:
         static_cast<int>(options.getInt("block-size", params.blockSize));
     params.lsRadius = options.getInt("ls-radius", params.lsRadius);
 
+    // The request's context (if any) describes the *original* mapping, so
+    // it cannot be reused here; the second pass gets its own context over
+    // the re-mapped graph and reports the same phase-split stats as the
+    // plain CaWoSched adapters.
+    const SolveContext remappedCtx(*gc, *profile, deadline);
+    VariantRunStats run;
     RawResult raw;
-    raw.schedule = runVariant(*gc, *profile, deadline, variant, params);
+    raw.schedule = runVariant(remappedCtx, variant, params, &run);
+    fillPhaseStats(run, raw.stats);
     raw.stats["mapping-makespan"] = mapped.makespan;
     raw.stats["asap-makespan"] = asapD;
     raw.remappedGc = std::move(gc);

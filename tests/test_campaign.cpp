@@ -372,6 +372,43 @@ TEST(CampaignRun, SkippedSolversYieldSkippedRecords) {
   EXPECT_EQ(outcome.results[0].runs.size(), 1u);
 }
 
+TEST(CampaignRun, PhaseSplitAndLocalSearchStatsAreSurfaced) {
+  CampaignSpec spec = tinySpec();
+  setCampaignKey(spec, "families", "atacseq");
+  setCampaignKey(spec, "scenarios", "S1");
+  setCampaignKey(spec, "algos", "ASAP,press,pressWR-LS");
+  const CampaignOutcome outcome = runCampaign(spec);
+  ASSERT_EQ(outcome.records.size(), 3u);
+  const CampaignRecord& asap = outcome.records[0];
+  const CampaignRecord& greedy = outcome.records[1];
+  const CampaignRecord& ls = outcome.records[2];
+
+  // ASAP has no greedy/LS phases; greedy-only variants report the split
+  // but no local-search block; -LS variants report both.
+  EXPECT_FALSE(asap.hasPhaseSplit);
+  EXPECT_FALSE(asap.hasLocalSearch);
+  EXPECT_TRUE(greedy.hasPhaseSplit);
+  EXPECT_FALSE(greedy.hasLocalSearch);
+  EXPECT_TRUE(ls.hasPhaseSplit);
+  EXPECT_TRUE(ls.hasLocalSearch);
+  EXPECT_GE(ls.lsRounds, 1);
+  EXPECT_GE(ls.lsMoves, 0);
+  EXPECT_GE(ls.lsInitialCost, ls.lsFinalCost);
+  EXPECT_EQ(ls.lsFinalCost, ls.cost)
+      << "the local-search exit cost must equal the recorded carbon cost";
+
+  const JsonValue doc = JsonValue::parse(toCampaignJsonString(outcome));
+  const auto& records = doc.at("records").asArray();
+  EXPECT_TRUE(records[0].at("greedy_ms").isNull());
+  EXPECT_TRUE(records[0].at("ls_rounds").isNull());
+  EXPECT_FALSE(records[1].at("greedy_ms").isNull());
+  EXPECT_TRUE(records[1].at("ls_ms").isNull());
+  EXPECT_FALSE(records[2].at("ls_ms").isNull());
+  EXPECT_EQ(records[2].at("ls_moves").asInt(), ls.lsMoves);
+  EXPECT_EQ(records[2].at("ls_initial_cost").asInt(),
+            static_cast<std::int64_t>(ls.lsInitialCost));
+}
+
 TEST(CampaignRun, SummariesAggregateRatiosAndWins) {
   const CampaignOutcome outcome = runCampaign(tinySpec());
   ASSERT_EQ(outcome.summaries.size(), 3u);
@@ -437,7 +474,9 @@ TEST(CampaignJson, RecordSchemaIsStable) {
       "asap_makespan", "num_nodes",     "solver",
       "cost",          "wall_ms",       "lower_bound",
       "baseline_cost", "ratio_vs_baseline", "feasible",
-      "proved_optimal", "skipped"};
+      "proved_optimal", "skipped",      "greedy_ms",
+      "ls_ms",         "ls_rounds",     "ls_moves",
+      "ls_initial_cost", "ls_final_cost"};
   ASSERT_FALSE(doc.at("records").asArray().empty());
   EXPECT_EQ(doc.at("records").asArray().front().objectKeys(),
             expectedRecordKeys);

@@ -75,6 +75,47 @@ TEST(EstLst, RecomputeWindowsPinsPlacedTasks) {
   EXPECT_EQ(lst[2], 25);
 }
 
+TEST(WindowState, PinsAndPropagatesLikeRecomputeWindows) {
+  // Mirror of RecomputeWindowsPinsPlacedTasks through the incremental API.
+  const EnhancedGraph gc = makeChainGc({3, 4, 5});
+  WindowState ws(gc, 30);
+  EXPECT_EQ(ws.estAll(), computeEst(gc));
+  EXPECT_EQ(ws.lstAll(), computeLst(gc, 30));
+
+  ws.place(1, 10);
+  EXPECT_TRUE(ws.placed(1));
+  EXPECT_EQ(ws.est(1), 10);
+  EXPECT_EQ(ws.lst(1), 10);
+  EXPECT_EQ(ws.est(2), 14); // after task 1 completes
+  EXPECT_EQ(ws.lst(0), 7);  // must finish before task 1 starts
+  EXPECT_EQ(ws.est(0), 0);
+  EXPECT_EQ(ws.lst(2), 25);
+  EXPECT_EQ(ws.numPlaced(), 1u);
+  EXPECT_TRUE(ws.feasible());
+}
+
+TEST(WindowState, PlacedTasksAbsorbPropagation) {
+  // Chain 0 → 1 → 2; placing 0 late must not move the already pinned 1,
+  // and 2 is shielded behind it — exactly as the oracle's pinned sweep.
+  const EnhancedGraph gc = makeChainGc({3, 4, 5});
+  WindowState ws(gc, 40);
+  ws.place(1, 10);
+  ws.place(0, 7);
+  EXPECT_EQ(ws.est(1), 10);
+  EXPECT_EQ(ws.lst(1), 10);
+  EXPECT_EQ(ws.est(2), 14);
+  EXPECT_TRUE(ws.feasible());
+}
+
+TEST(WindowState, LatePinDrivesSlackNegative) {
+  const EnhancedGraph gc = makeChainGc({3, 4, 5});
+  WindowState ws(gc, 12); // exactly the critical path: zero slack
+  EXPECT_TRUE(ws.feasible());
+  ws.place(0, 2); // 2 units past LST(0) = 0
+  EXPECT_FALSE(ws.feasible());
+  EXPECT_EQ(ws.negativeSlackCount(), 2u); // tasks 1 and 2 are squeezed
+}
+
 TEST(Asap, StartsEveryTaskAtEst) {
   const EnhancedGraph gc = makeChainGc({3, 4, 5});
   const Schedule s = scheduleAsap(gc);

@@ -1,9 +1,10 @@
 // Byte-exact golden checks for experiment outputs (see
-// tests/golden/README.md). The JSON golden was captured from the build
-// before the ProfileSource registry existed; the only nondeterministic
-// bytes — wall-time fields — are scrubbed to 0 on both sides, exactly as
-// the capture was. Everything else (key order, number formatting, record
-// order, costs) must match bit for bit.
+// tests/golden/README.md). The JSON golden pins every deterministic byte
+// of the scenarios=all smoke campaign; the only nondeterministic bytes —
+// wall-time fields (wall_ms/total_wall_ms and the greedy_ms/ls_ms phase
+// split) — are scrubbed to 0 on both sides, exactly as the capture was.
+// Everything else (key order, number formatting, record order, costs,
+// local-search round/move counts) must match bit for bit.
 
 #include <gtest/gtest.h>
 
@@ -31,6 +32,10 @@ std::string scrubWallTimes(std::string json) {
   json = std::regex_replace(json,
                             std::regex("\"total_wall_ms\": [-+0-9.eE]+"),
                             "\"total_wall_ms\": 0");
+  json = std::regex_replace(json, std::regex("\"greedy_ms\": [-+0-9.eE]+"),
+                            "\"greedy_ms\": 0");
+  json = std::regex_replace(json, std::regex("\"ls_ms\": [-+0-9.eE]+"),
+                            "\"ls_ms\": 0");
   return json;
 }
 
