@@ -44,6 +44,26 @@ CostBreakdown evaluateCostBreakdown(const EnhancedGraph& gc,
                                     const PowerProfile& profile,
                                     const Schedule& s);
 
+/// Carbon cost of a trajectory with explicit per-node durations (the online
+/// replay engine bills *actual* runtimes, which may differ from ω(u)).
+/// Identical to `evaluateCost` when `durations[u] == gc.len(u)` for all u —
+/// same sweep, bit for bit. Time past the profile horizon (a perturbed run
+/// overshooting the plan) is billed with a green budget of 0: everything
+/// drawn there is brown.
+Cost evaluateCostWithDurations(const EnhancedGraph& gc,
+                               const PowerProfile& profile, const Schedule& s,
+                               const std::vector<Time>& durations);
+
+/// Carbon cost of a *pinned prefix*: the (possibly partial) trajectory `s`
+/// restricted to the window [0, upTo). Nodes without a start are ignored;
+/// contributions are clipped at `upTo`. The idle floor accrues over the
+/// whole window. Used by the online engine both for billing the executed
+/// prefix against the actual profile and for the reactive policy's
+/// forecast-deviation signal.
+Cost evaluateCostPrefix(const EnhancedGraph& gc, const PowerProfile& profile,
+                        const Schedule& s, const std::vector<Time>& durations,
+                        Time upTo);
+
 /// Schedule-independent lower bound on the carbon cost of *any* complete
 /// schedule within the profile horizon: the maximum of
 ///   (a) the idle floor Σ_t max(Σ_i P_idle^i − G_t, 0) — the platform draws

@@ -9,6 +9,33 @@
 
 namespace cawo {
 
+namespace {
+
+/// The greedy's working budget timeline: the (possibly k-block-refined)
+/// interval set loaded into a BudgetTree. Shared by the offline and the
+/// residual greedy so both consume from an identically seeded timeline —
+/// the actual == forecast parity pin depends on that.
+BudgetTree makeBudgetTree(const SolveContext& ctx,
+                          const GreedyOptions& opts) {
+  const PowerProfile& profile = ctx.profile();
+  std::vector<Time> begins;
+  std::vector<Power> budgets;
+  const std::span<const Interval> working =
+      opts.refined ? std::span<const Interval>(
+                         ctx.refinedIntervals(opts.blockSize))
+                   : profile.intervals();
+  begins.reserve(working.size());
+  budgets.reserve(working.size());
+  for (const Interval& iv : working) {
+    begins.push_back(iv.begin);
+    budgets.push_back(iv.green);
+  }
+  return BudgetTree(std::move(begins), std::move(budgets),
+                    profile.horizon());
+}
+
+} // namespace
+
 Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
                         Time deadline, const GreedyOptions& opts) {
   const SolveContext ctx(gc, profile, deadline);
@@ -26,23 +53,7 @@ Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
   CAWO_REQUIRE(windows.feasible(),
                "infeasible instance: deadline below ASAP makespan");
 
-  // Working interval set: original or k-block-refined subdivision.
-  std::vector<Time> begins;
-  std::vector<Power> budgets;
-  const auto loadIntervals = [&](std::span<const Interval> working) {
-    begins.reserve(working.size());
-    budgets.reserve(working.size());
-    for (const Interval& iv : working) {
-      begins.push_back(iv.begin);
-      budgets.push_back(iv.green);
-    }
-  };
-  if (opts.refined) {
-    loadIntervals(ctx.refinedIntervals(opts.blockSize));
-  } else {
-    loadIntervals(profile.intervals());
-  }
-  BudgetTree tree(std::move(begins), std::move(budgets), profile.horizon());
+  BudgetTree tree = makeBudgetTree(ctx, opts);
 
   // Score-based processing order (scores use the *initial* EST/LST windows,
   // as in the paper; the windows then tighten as tasks get placed).
@@ -69,6 +80,78 @@ Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
     // The update after the last placement is dead — no window is read
     // again — so it is skipped entirely.
     if (i + 1 < n) windows.place(v, start);
+  }
+  return schedule;
+}
+
+Schedule scheduleGreedyResidual(const SolveContext& ctx,
+                                const GreedyOptions& opts,
+                                const GreedyResidual& residual) {
+  const EnhancedGraph& gc = ctx.gc();
+  const PowerProfile& profile = ctx.profile();
+  CAWO_REQUIRE(ctx.deadline() > 0, "deadline must be positive");
+  CAWO_REQUIRE(profile.horizon() >= ctx.deadline(),
+               "power profile must cover the deadline");
+  CAWO_REQUIRE(residual.starts != nullptr && residual.started != nullptr &&
+                   residual.durations != nullptr,
+               "residual greedy needs starts, started and durations");
+  const std::vector<std::uint8_t>& started = *residual.started;
+  CAWO_REQUIRE(started.size() == static_cast<std::size_t>(gc.numNodes()) &&
+                   residual.durations->size() == started.size(),
+               "residual vectors do not match the graph");
+
+  // Pinned-prefix windows: reuse the caller's incrementally maintained
+  // state when given, otherwise repair a fresh one pin by pin (worklist
+  // propagation — the fixpoint is placement-order independent).
+  WindowState windows = [&] {
+    if (residual.windows != nullptr) return *residual.windows;
+    WindowState w = ctx.windowState();
+    for (TaskId v = 0; v < gc.numNodes(); ++v)
+      if (started[static_cast<std::size_t>(v)])
+        w.place(v, residual.starts->start(v));
+    return w;
+  }();
+
+  BudgetTree tree = makeBudgetTree(ctx, opts);
+
+  // The pinned prefix already draws power over its effective execution
+  // windows — consume it up front so movable placements see the remaining
+  // budget, exactly as if the greedy itself had placed those nodes.
+  Schedule schedule(gc.numNodes());
+  std::size_t movable = 0;
+  for (TaskId v = 0; v < gc.numNodes(); ++v) {
+    if (!started[static_cast<std::size_t>(v)]) {
+      ++movable;
+      continue;
+    }
+    const Time a = residual.starts->start(v);
+    schedule.setStart(v, a);
+    const Time d = (*residual.durations)[static_cast<std::size_t>(v)];
+    const Time b = std::min(a + d, profile.horizon());
+    if (d == 0 || a >= b) continue;
+    const ProcId p = gc.procOf(v);
+    tree.consume(a, b, gc.idlePower(p) + gc.workPower(p));
+  }
+
+  const std::vector<TaskId>& order =
+      ctx.scoreOrder(ScoreOptions{opts.base, opts.weighted});
+
+  for (const TaskId v : order) {
+    if (started[static_cast<std::size_t>(v)]) continue;
+    const Time lo = std::max(windows.est(v), residual.releaseTime);
+    const auto best = lo <= windows.lst(v)
+                          ? tree.maxInRange(lo, windows.lst(v))
+                          : BudgetTree::MaxResult{};
+    const Time start = best.found ? best.begin : lo;
+
+    schedule.setStart(v, start);
+
+    const Time finish = start + gc.len(v);
+    const ProcId p = gc.procOf(v);
+    tree.consume(start, std::min(finish, profile.horizon()),
+                 gc.idlePower(p) + gc.workPower(p));
+
+    if (--movable > 0) windows.place(v, start);
   }
   return schedule;
 }

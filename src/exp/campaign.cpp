@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "exp/json.hpp"
+#include "online/policy.hpp"
 #include "sim/runner.hpp"
 #include "solver/registry.hpp"
 #include "util/require.hpp"
@@ -150,12 +151,48 @@ void setCampaignKey(CampaignSpec& spec, const std::string& key,
     const int t = parseIntKey(key, std::string{trim(value)});
     CAWO_REQUIRE(t >= 0, "campaign key \"threads\" must be >= 0");
     spec.threads = static_cast<unsigned>(t);
+  } else if (key == "online") {
+    const std::string v{trim(value)};
+    CAWO_REQUIRE(v == "0" || v == "1" || v == "true" || v == "false",
+                 "campaign key \"online\" must be 0/1/true/false");
+    spec.online = v == "1" || v == "true";
+  } else if (key == "actual") {
+    const std::string v{trim(value)};
+    if (v.empty()) {
+      spec.actual.clear();
+    } else {
+      // Same dry-run probe as the scenarios axis: a bad actual spec must
+      // fail at parse time, not mid-sweep.
+      const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+      ProfileRequest probe;
+      probe.horizon = 1;
+      probe.sumIdle = 1;
+      probe.sumWork = 1;
+      (void)registry.generate(registry.resolve(v), probe);
+      spec.actual = v;
+    }
+  } else if (key == "policies") {
+    // Policy specs carry commas of their own ("periodic:every=4"), so the
+    // axis splits with splitSpecList, like scenarios.
+    const std::vector<std::string> policies = splitSpecList(value);
+    CAWO_REQUIRE(!policies.empty(),
+                 "campaign key \"policies\" has an empty value — an empty "
+                 "axis would erase the whole online sweep");
+    for (const std::string& item : policies)
+      (void)ReschedulePolicyRegistry::global().resolve(item);
+    spec.policies = policies;
+  } else if (key == "runtime-noise") {
+    const double a = parseDoubleStrict(keyLabel(key), std::string{trim(value)});
+    CAWO_REQUIRE(a >= 0.0 && a < 1.0,
+                 "campaign key \"runtime-noise\" must lie in [0, 1)");
+    spec.runtimeNoise = a;
   } else {
     CAWO_REQUIRE(false,
                  "unknown campaign key \"" + key +
                      "\" (known: name, families, tasks, bacass-tasks, "
                      "nodes-per-type, scenarios, deadline-factors, seeds, "
-                     "intervals, algos, threads)");
+                     "intervals, algos, threads, online, actual, policies, "
+                     "runtime-noise)");
   }
 }
 

@@ -66,8 +66,31 @@ struct CampaignSpec {
   /// Worker threads for the runner (key `threads`; 0 = hardware).
   unsigned threads = 0;
 
+  /// Online replay mode (key `online`, 0/1): instead of grading each
+  /// solver offline, every (instance, solver, policy) cell is executed
+  /// through the online replay engine — planned against the forecast,
+  /// billed against the actual (see src/online/replay.hpp).
+  bool online = false;
+  /// Actual-profile spec for online mode (key `actual`): the profile
+  /// execution is billed against, resolved through the instance's own
+  /// ProfileRequest. Empty = resolve the forecast/actual pair from each
+  /// instance's scenario spec (its `+noise` modifier is the forecast
+  /// error).
+  std::string actual;
+  /// Rescheduling-policy axis for online mode (key `policies`); any
+  /// registered policy spec, commas inside specs handled like the
+  /// scenario axis.
+  std::vector<std::string> policies{"static"};
+  /// Per-task runtime perturbation amplitude for online mode (key
+  /// `runtime-noise`, in [0, 1)).
+  double runtimeNoise = 0.0;
+
   /// Number of cells in the cross-product (== expandCampaign().size()).
   std::size_t cellCount() const;
+
+  /// Solver-side multiplicity of each instance: |solvers| offline,
+  /// |solvers| · |policies| online.
+  std::size_t policyCount() const { return online ? policies.size() : 1; }
 };
 
 /// Apply one `key = value` assignment to the spec. List-valued keys take

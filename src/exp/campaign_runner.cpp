@@ -11,6 +11,8 @@
 #include "core/carbon_cost.hpp"
 #include "core/solve_context.hpp"
 #include "exp/json.hpp"
+#include "online/replay.hpp"
+#include "profile/profile_source.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
 #include "solver/registry.hpp"
@@ -49,6 +51,26 @@ void harvestPhaseStats(const std::map<std::string, std::int64_t>& stats,
     find("ls-moves", record.lsMoves);
     find("ls-initial-cost", record.lsInitialCost);
     find("ls-final-cost", record.lsFinalCost);
+  }
+}
+
+/// Shared ratio-vs-baseline pass over one instance's records (baseline =
+/// the first cell). Used by both the offline and the online cell runners.
+void assignBaselineRatios(CampaignRecord* records, std::size_t count) {
+  const CampaignRecord& baseline = records[0];
+  const bool baselineValid = !baseline.skipped && baseline.feasible;
+  for (std::size_t s = 0; s < count; ++s) {
+    CampaignRecord& record = records[s];
+    if (record.skipped || !baselineValid) continue;
+    record.hasBaseline = true;
+    record.baselineCost = baseline.cost;
+    if (!record.feasible) continue; // the cost of a broken run is noise
+    if (baseline.cost > 0) {
+      record.ratioVsBaseline = static_cast<double>(record.cost) /
+                               static_cast<double>(baseline.cost);
+    } else if (record.cost == 0) {
+      record.ratioVsBaseline = 1.0; // 0/0: both hit the green optimum
+    }
   }
 }
 
@@ -110,21 +132,98 @@ void runInstanceCell(const Instance& instance,
 
   // Ratios against the baseline — the first selected solver
   // (conventionally ASAP). Undefined ratios stay NaN → null in JSON.
-  const CampaignRecord& baseline = records[0];
-  const bool baselineValid = !baseline.skipped && baseline.feasible;
+  assignBaselineRatios(records, solvers.size());
+}
+
+/// Replay every (solver, policy) combination on one built instance — the
+/// online-mode counterpart of runInstanceCell. The forecast/actual pair is
+/// resolved once per instance; the clairvoyant reference is solved once
+/// per solver and shared across its policy cells.
+void runOnlineInstanceCell(const Instance& instance,
+                           const std::vector<std::string>& solvers,
+                           const CampaignSpec& spec,
+                           const SolverOptions& options,
+                           InstanceResult& result, CampaignRecord* records) {
+  CAWO_REQUIRE(!solvers.empty(), "campaign has no solvers selected");
+  CAWO_REQUIRE(!spec.policies.empty(), "online campaign has no policies");
+  result.spec = instance.spec;
+  result.deadline = instance.deadline;
+  result.numNodes = instance.gc.numNodes();
+
+  // Forecast/actual resolution, once per instance (see docs/formats.md,
+  // "Forecast vs actual").
+  const ProfileRequest preq = instanceProfileRequest(instance);
+  PowerProfile forecast;
+  PowerProfile actual;
+  if (spec.actual.empty()) {
+    ProfilePair pair =
+        generateForecastActualPair(instance.spec.scenario, preq);
+    forecast = std::move(pair.forecast);
+    actual = std::move(pair.actual);
+  } else {
+    forecast = instance.profile;
+    actual = generateProfile(spec.actual, preq);
+  }
+  const Cost lowerBound = carbonLowerBound(instance.gc, actual);
+
+  const SolverRegistry& registry = SolverRegistry::global();
+  const std::size_t P = spec.policies.size();
   for (std::size_t s = 0; s < solvers.size(); ++s) {
-    CampaignRecord& record = records[s];
-    if (record.skipped || !baselineValid) continue;
-    record.hasBaseline = true;
-    record.baselineCost = baseline.cost;
-    if (!record.feasible) continue; // the cost of a broken schedule is noise
-    if (baseline.cost > 0) {
-      record.ratioVsBaseline = static_cast<double>(record.cost) /
-                               static_cast<double>(baseline.cost);
-    } else if (record.cost == 0) {
-      record.ratioVsBaseline = 1.0; // 0/0: both hit the green optimum
+    const bool fits =
+        solverFitsInstance(registry.create(solvers[s])->info(), instance);
+
+    // One shared plan + clairvoyant solve per solver row; the per-policy
+    // replays and the clairvoyant spreading live in replayOnlinePolicies.
+    std::vector<OnlineResult> row;
+    if (fits) {
+      OnlineOptions onlineOpts;
+      onlineOpts.solver = solvers[s];
+      onlineOpts.runtimeNoise = spec.runtimeNoise;
+      onlineOpts.runtimeSeed = instance.spec.seed ^ 0x0417CEB5ULL;
+      onlineOpts.solverOptions = options;
+      row = replayOnlinePolicies(instance, forecast, actual, onlineOpts,
+                                 spec.policies);
+    }
+
+    for (std::size_t p = 0; p < P; ++p) {
+      CampaignRecord& record = records[s * P + p];
+      record.spec = instance.spec;
+      record.instance = instance.spec.label();
+      record.deadline = instance.deadline;
+      record.asapMakespanD = instance.asapMakespanD;
+      record.numNodes = instance.gc.numNodes();
+      record.lowerBound = lowerBound;
+      record.solver = solvers[s];
+      record.ratioVsBaseline = quietNaN();
+      record.hasOnline = true;
+      record.policy = spec.policies[p];
+      record.actualScenario = spec.actual;
+      record.regretRatio = quietNaN();
+      if (!fits) {
+        record.skipped = true;
+        continue;
+      }
+
+      const OnlineResult& online = row[p];
+      record.cost = online.actualCost;
+      record.wallMs = online.solveWallMs + online.resolveWallMs;
+      record.feasible = online.ran && online.deadlineMet;
+      record.forecastCost = online.forecastCost;
+      record.resolves = static_cast<std::int64_t>(online.resolveCount);
+      record.resolvesAccepted =
+          static_cast<std::int64_t>(online.resolveAccepted);
+      record.resolveWallMs = online.resolveWallMs;
+      record.deadlineMet = online.deadlineMet;
+      record.finishTime = online.finishTime;
+      record.clairvoyantFeasible = online.clairvoyantFeasible && online.ran;
+      record.clairvoyantCost = online.clairvoyantCost;
+      record.regret = online.regret;
+      record.regretRatio = online.regretRatio;
+      result.runs.push_back({solvers[s] + " @ " + spec.policies[p],
+                             record.cost, record.wallMs, false});
     }
   }
+  assignBaselineRatios(records, solvers.size() * P);
 }
 
 std::vector<std::string> distinctScenarios(const CampaignSpec& spec) {
@@ -195,8 +294,33 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
                             const CampaignProgress& progress) {
   CampaignOutcome outcome;
   outcome.spec = spec;
-  outcome.solvers = campaignSolverNames(spec);
   outcome.scenarios = distinctScenarios(spec);
+
+  // An explicit actual is mutually exclusive with +noise forecast specs:
+  // the modifier is *the* forecast error, so combining both would
+  // silently change what the solvers plan against. Fail before any
+  // instance is built.
+  if (spec.online && !spec.actual.empty()) {
+    for (const std::string& scenario : spec.scenarios) {
+      CAWO_REQUIRE(!ProfileSpec::parse(scenario).hasNoise,
+                   "online campaign: scenario spec \"" + scenario +
+                       "\" carries a +noise modifier (read as forecast "
+                       "error) AND actual=\"" + spec.actual +
+                       "\" is set — drop one of the two");
+    }
+  }
+
+  // Per-instance cell labels: the plain solver selection offline, the
+  // solver × policy cross-product online ("solver @ policy").
+  const std::vector<std::string> solverNames = campaignSolverNames(spec);
+  if (spec.online) {
+    outcome.policies = spec.policies;
+    for (const std::string& solver : solverNames)
+      for (const std::string& policy : spec.policies)
+        outcome.solvers.push_back(solver + " @ " + policy);
+  } else {
+    outcome.solvers = solverNames;
+  }
 
   const std::vector<InstanceSpec> instances = expandCampaign(spec);
   const std::size_t S = outcome.solvers.size();
@@ -207,8 +331,14 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
   std::atomic<std::size_t> done{0};
   parallelFor(instances.size(), spec.threads, [&](std::size_t i) {
     const Instance instance = buildInstance(instances[i]);
-    runInstanceCell(instance, outcome.solvers, options, outcome.results[i],
-                    outcome.records.data() + i * S);
+    if (spec.online) {
+      runOnlineInstanceCell(instance, solverNames, spec, options,
+                            outcome.results[i],
+                            outcome.records.data() + i * S);
+    } else {
+      runInstanceCell(instance, outcome.solvers, options, outcome.results[i],
+                      outcome.records.data() + i * S);
+    }
     if (progress) progress(done.fetch_add(S) + S, totalCells);
   });
 
@@ -264,6 +394,41 @@ void writeRecord(JsonWriter& w, const CampaignRecord& r) {
     w.key("ls_moves").value(r.lsMoves);
     w.key("ls_initial_cost").value(static_cast<std::int64_t>(r.lsInitialCost));
     w.key("ls_final_cost").value(static_cast<std::int64_t>(r.lsFinalCost));
+  }
+  // Online replay fields: only present in online-mode records, so the
+  // offline record schema stays byte-identical (golden-tested).
+  if (r.hasOnline) {
+    w.key("policy").value(r.policy);
+    if (r.actualScenario.empty()) w.key("actual_scenario").null();
+    else w.key("actual_scenario").value(r.actualScenario);
+    if (r.skipped) {
+      w.key("forecast_cost").null();
+      w.key("clairvoyant_cost").null();
+      w.key("regret").null();
+      w.key("regret_ratio").null();
+      w.key("resolves").null();
+      w.key("resolves_accepted").null();
+      w.key("resolve_wall_ms").null();
+      w.key("deadline_met").null();
+      w.key("finish_time").null();
+    } else {
+      w.key("forecast_cost").value(static_cast<std::int64_t>(r.forecastCost));
+      if (!r.clairvoyantFeasible) {
+        w.key("clairvoyant_cost").null();
+        w.key("regret").null();
+      } else {
+        w.key("clairvoyant_cost")
+            .value(static_cast<std::int64_t>(r.clairvoyantCost));
+        w.key("regret").value(static_cast<std::int64_t>(r.regret));
+      }
+      if (std::isnan(r.regretRatio)) w.key("regret_ratio").null();
+      else w.key("regret_ratio").value(r.regretRatio);
+      w.key("resolves").value(r.resolves);
+      w.key("resolves_accepted").value(r.resolvesAccepted);
+      w.key("resolve_wall_ms").value(r.resolveWallMs);
+      w.key("deadline_met").value(r.deadlineMet);
+      w.key("finish_time").value(static_cast<std::int64_t>(r.finishTime));
+    }
   }
   w.endObject();
 }
@@ -335,6 +500,19 @@ void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
   w.endArray();
   w.key("intervals").value(spec.numIntervals);
   w.key("algos").value(spec.algos);
+  // Online-mode header keys are appended only when active, keeping the
+  // offline document bytes stable.
+  if (spec.online) {
+    w.key("online").value(true);
+    if (spec.actual.empty()) w.key("actual").null();
+    else w.key("actual").value(spec.actual);
+    w.key("policies");
+    w.compactNext();
+    w.beginArray();
+    for (const std::string& p : spec.policies) w.value(p);
+    w.endArray();
+    w.key("runtime_noise").value(spec.runtimeNoise);
+  }
   w.key("solvers");
   w.compactNext();
   w.beginArray();

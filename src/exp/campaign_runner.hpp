@@ -66,6 +66,24 @@ struct CampaignRecord {
   std::int64_t lsMoves = 0;       ///< improving moves applied
   Cost lsInitialCost = 0;         ///< carbon cost entering local search
   Cost lsFinalCost = 0;           ///< carbon cost leaving local search
+
+  /// Online replay fields (campaign `online` mode): present iff
+  /// `hasOnline`, null/absent in offline records — the offline JSON
+  /// schema is byte-stable. In online records `cost` is the *actual*
+  /// (billed) cost and `feasible` means "ran and met the deadline".
+  bool hasOnline = false;
+  std::string policy;          ///< rescheduling policy spec
+  std::string actualScenario;  ///< actual-profile spec ("" = pair)
+  Cost forecastCost = 0;       ///< offline plan cost vs the forecast
+  Cost clairvoyantCost = 0;    ///< same solver solved against actuals
+  bool clairvoyantFeasible = false;
+  Cost regret = 0;             ///< cost − clairvoyantCost
+  double regretRatio = 0.0;    ///< cost / clairvoyantCost; NaN undefined
+  std::int64_t resolves = 0;   ///< re-solve attempts
+  std::int64_t resolvesAccepted = 0;
+  double resolveWallMs = 0.0;  ///< Σ wall time over re-solves
+  bool deadlineMet = false;
+  Time finishTime = 0;
 };
 
 /// Per-solver aggregate over every instance the solver ran on.
@@ -84,7 +102,12 @@ struct SolverSummary {
 /// Everything a campaign run produced.
 struct CampaignOutcome {
   CampaignSpec spec;
-  std::vector<std::string> solvers;    ///< resolved selection, run order
+  /// Per-instance cell labels in run order: the resolved solver selection
+  /// offline; the solver × policy cross-product ("solver @ policy") in
+  /// online mode. `records` is instance-major with this stride.
+  std::vector<std::string> solvers;
+  /// The policy axis (online mode; empty offline).
+  std::vector<std::string> policies;
   /// Distinct scenario specs: the paper's S1..S4 first (canonical order),
   /// then any other specs in first-appearance order.
   std::vector<std::string> scenarios;

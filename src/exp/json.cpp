@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "util/require.hpp"
@@ -36,8 +37,19 @@ std::string jsonEscape(const std::string& s) {
 
 std::string jsonNumber(double value) {
   if (!std::isfinite(value)) return "null";
+  // Negative zero keeps its sign *and* its fraction, so a parse → re-write
+  // cycle cannot silently turn it into the integer 0.
+  if (value == 0.0) return std::signbit(value) ? "-0.0" : "0";
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  // Shortest form — starting from the historical 12 significant digits —
+  // that parses back to exactly the same double. Most values keep their
+  // old bytes; the ones that used to lose precision (tiny exponent-
+  // notation regret/ratio values) gain digits until the round trip is
+  // exact.
+  for (int precision = 12; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   return buf;
 }
 
@@ -395,36 +407,67 @@ private:
   }
 
   JsonValue parseNumber() {
+    // Strict JSON number grammar: -?digits[.digits][(e|E)[+|-]digits].
+    // The old scanner accepted '+'/'-'/'.' anywhere after the first digit,
+    // so garbage like "1-2" parsed as 1.0 via std::stod's partial
+    // consumption and exponent forms could mis-round-trip.
     const std::size_t start = pos_;
+    const auto isDigit = [&] { return peek() >= '0' && peek() <= '9'; };
+    const auto digits = [&](const char* what) {
+      check(isDigit(), what);
+      while (isDigit()) ++pos_;
+    };
     if (peek() == '-') ++pos_;
-    bool isInt = true;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        isInt = false;
-        ++pos_;
-      } else {
-        break;
-      }
+    bool plain = true; // written without fraction/exponent
+    // Integer part: "0" or a non-zero digit followed by digits — JSON
+    // forbids leading zeros ("01" is not a number).
+    if (peek() == '0') {
+      ++pos_;
+      check(!isDigit(), "leading zeros are not allowed");
+    } else {
+      digits("expected a value");
     }
-    check(pos_ > start + (text_[start] == '-' ? 1u : 0u), "expected a value");
+    if (peek() == '.') {
+      plain = false;
+      ++pos_;
+      digits("expected digits after '.'");
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      plain = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      digits("expected exponent digits");
+    }
     const std::string token = text_.substr(start, pos_ - start);
     JsonValue v;
     v.kind_ = JsonValue::Kind::Number;
-    try {
-      v.numberValue_ = std::stod(token);
-    } catch (const std::exception&) {
-      fail("malformed number \"" + token + "\"");
-    }
-    if (isInt) {
+    // std::strtod rather than std::stod: stod throws on subnormal values
+    // (ERANGE underflow), but "5e-324" is a perfectly valid JSON number —
+    // and exactly the magnitude tiny regret records produce. Underflow
+    // rounds like any other literal; overflow to ±inf is rejected (JSON
+    // has no infinity).
+    char* end = nullptr;
+    v.numberValue_ = std::strtod(token.c_str(), &end);
+    check(end == token.c_str() + token.size(),
+          "malformed number \"" + token + "\"");
+    if (!std::isfinite(v.numberValue_))
+      fail("number out of range \"" + token + "\"");
+    if (plain) {
       try {
         v.intValue_ = std::stoll(token);
         v.numberIsInt_ = true;
       } catch (const std::exception&) {
         v.numberIsInt_ = false; // out of int64 range; keep the double
       }
+    } else if (v.numberValue_ == 0.0 && std::signbit(v.numberValue_)) {
+      v.numberIsInt_ = false; // -0.0 must stay a double end to end
+    } else if (std::nearbyint(v.numberValue_) == v.numberValue_ &&
+               std::fabs(v.numberValue_) <= 0x1p53) {
+      // Exponent/fraction spellings of exact integers ("1e3", "42.0")
+      // round-trip as integers: asInt() works and a re-write emits the
+      // canonical integer form.
+      v.intValue_ = static_cast<std::int64_t>(v.numberValue_);
+      v.numberIsInt_ = true;
     }
     return v;
   }

@@ -24,9 +24,11 @@ namespace cawo {
 /// backslash, quote and control characters; UTF-8 bytes pass through).
 std::string jsonEscape(const std::string& s);
 
-/// Render a double the way the result files expect it: finite values with
-/// up to 12 significant digits (shortest round-trip-ish), non-finite
-/// values as null (JSON has no NaN/Inf).
+/// Render a double the way the result files expect it: the shortest form
+/// (12–17 significant digits) that parses back to exactly the same double;
+/// `-0.0` keeps its sign and fraction; non-finite values become null
+/// (JSON has no NaN/Inf). Writer → parser → writer is the identity on
+/// every finite double.
 std::string jsonNumber(double value);
 
 /// Streaming JSON writer with automatic comma / indentation management.
@@ -93,7 +95,9 @@ public:
 
   bool asBool() const;
   double asDouble() const;
-  /// True for numbers written without fraction/exponent (e.g. 42, not 42.0).
+  /// True for numbers that are exact int64 integers — written plainly
+  /// (42) or as an integral fraction/exponent form (42.0, 1e3). `-0.0`
+  /// stays a double so its sign survives a re-write.
   bool isInteger() const {
     return kind_ == Kind::Number && numberIsInt_;
   }

@@ -1,0 +1,30 @@
+#include "online/result_json.hpp"
+
+namespace cawo {
+
+void writeOnlineResultFields(JsonWriter& w, const OnlineResult& r) {
+  w.key("actual_cost").value(static_cast<std::int64_t>(r.actualCost));
+  w.key("forecast_cost").value(static_cast<std::int64_t>(r.forecastCost));
+  if (r.clairvoyantFeasible) {
+    w.key("clairvoyant_cost")
+        .value(static_cast<std::int64_t>(r.clairvoyantCost));
+    w.key("regret").value(static_cast<std::int64_t>(r.regret));
+    w.key("regret_ratio").value(r.regretRatio);
+  } else {
+    w.key("clairvoyant_cost").null();
+    w.key("regret").null();
+    w.key("regret_ratio").null();
+  }
+  w.key("resolves").value(static_cast<std::int64_t>(r.resolveCount));
+  w.key("resolves_accepted")
+      .value(static_cast<std::int64_t>(r.resolveAccepted));
+  w.key("resolve_wall_ms").value(r.resolveWallMs);
+  w.key("per_resolve_wall_ms");
+  w.beginArray();
+  for (const ResolveRecord& rr : r.resolves) w.value(rr.wallMs);
+  w.endArray();
+  w.key("finish_time").value(static_cast<std::int64_t>(r.finishTime));
+  w.key("deadline_met").value(r.deadlineMet);
+}
+
+} // namespace cawo

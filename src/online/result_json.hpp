@@ -1,0 +1,21 @@
+#pragma once
+
+#include "exp/json.hpp"
+#include "online/replay.hpp"
+
+/// \file result_json.hpp
+/// The shared JSON spelling of an `OnlineResult`'s outcome fields —
+/// `cawosched-cli replay` (`cawosched-replay-v1`) and
+/// `bench_online_regret` (`cawosched-bench-online-v1`) both emit exactly
+/// this sequence (docs/formats.md), so the schema lives in one place.
+
+namespace cawo {
+
+/// Write the outcome fields of a *ran* replay into the currently open
+/// JSON object: actual/forecast/clairvoyant cost, regret, re-solve
+/// counters and per-re-solve wall times, finish time and deadline
+/// verdict. Callers write their own identifying keys (policy, noise,
+/// seed, ...) before and close the object after.
+void writeOnlineResultFields(JsonWriter& w, const OnlineResult& r);
+
+} // namespace cawo

@@ -239,6 +239,25 @@ PowerProfile generateProfile(const std::string& specText,
   return registry.generate(registry.resolve(specText), request);
 }
 
+ProfilePair generateForecastActualPair(const std::string& specText,
+                                       const ProfileRequest& request) {
+  const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+  const ProfileSpec spec = registry.resolve(specText);
+
+  ProfileSpec forecastSpec = spec;
+  forecastSpec.hasNoise = false;
+  forecastSpec.noise = 0.0;
+  forecastSpec.hasNoiseSeed = false;
+  forecastSpec.noiseSeed = 0;
+  forecastSpec.text = forecastSpec.canonical();
+
+  ProfilePair pair;
+  pair.forecast = registry.generate(forecastSpec, request);
+  pair.actual =
+      spec.hasNoise ? registry.generate(spec, request) : pair.forecast;
+  return pair;
+}
+
 const std::vector<std::string>& paperScenarioNames() {
   static const std::vector<std::string> names{"S1", "S2", "S3", "S4"};
   return names;

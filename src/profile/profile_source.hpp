@@ -157,6 +157,21 @@ public:
 PowerProfile generateProfile(const std::string& specText,
                              const ProfileRequest& request);
 
+/// A forecast/actual profile pair for the online execution engine.
+struct ProfilePair {
+  PowerProfile forecast; ///< what the solver plans against
+  PowerProfile actual;   ///< what execution is billed against
+};
+
+/// Resolve a forecast/actual pair from *one* spec: the `+noise` modifier
+/// is read as forecast error, so the forecast is the spec with the
+/// modifier stripped (for the paper scenarios that keeps the legacy
+/// Section-6.1 shape, bit-identical to the offline instance profile) and
+/// the actual is the spec as written. Without a `+noise` modifier both
+/// profiles are identical. See docs/formats.md, "Forecast vs actual".
+ProfilePair generateForecastActualPair(const std::string& specText,
+                                       const ProfileRequest& request);
+
 /// The paper's four scenario names, in canonical order. The campaign key
 /// `scenarios=all` expands to exactly this list.
 const std::vector<std::string>& paperScenarioNames();

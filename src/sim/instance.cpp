@@ -9,6 +9,26 @@
 
 namespace cawo {
 
+namespace {
+
+/// The one place that derives a ProfileRequest from instance data — shared
+/// by `buildInstance` and `instanceProfileRequest` so online profile
+/// resolution is bit-identical to the build-time one.
+ProfileRequest detailProfileRequest(const InstanceSpec& spec,
+                                    const EnhancedGraph& gc, Time deadline) {
+  Power sumWork = 0;
+  for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
+  ProfileRequest preq;
+  preq.horizon = deadline;
+  preq.sumIdle = gc.totalIdlePower();
+  preq.sumWork = sumWork;
+  preq.numIntervals = spec.numIntervals;
+  preq.seed = spec.seed ^ 0x5CE11A21ULL;
+  return preq;
+}
+
+} // namespace
+
 std::string InstanceSpec::label() const {
   return std::string(familyName(family)) + "-" + std::to_string(targetTasks) +
          "/c" + std::to_string(nodesPerType) + "/" + scenario + "/d" +
@@ -36,18 +56,10 @@ Instance buildInstance(const InstanceSpec& spec) {
   const Time deadline = static_cast<Time>(
       std::llround(std::ceil(spec.deadlineFactor * static_cast<double>(d))));
 
-  Power sumWork = 0;
-  for (ProcId p = 0; p < gc.numProcs(); ++p) sumWork += gc.workPower(p);
-
   // Resolve the scenario spec through the profile-source registry; the
   // request carries the legacy derived seed and default perturbation, so
   // "S1" … "S4" reproduce the pre-registry profiles bit for bit.
-  ProfileRequest preq;
-  preq.horizon = deadline;
-  preq.sumIdle = gc.totalIdlePower();
-  preq.sumWork = sumWork;
-  preq.numIntervals = spec.numIntervals;
-  preq.seed = spec.seed ^ 0x5CE11A21ULL;
+  const ProfileRequest preq = detailProfileRequest(spec, gc, deadline);
   PowerProfile profile = generateProfile(spec.scenario, preq);
 
   return Instance{spec,
@@ -58,6 +70,10 @@ Instance buildInstance(const InstanceSpec& spec) {
                   std::move(profile),
                   d,
                   deadline};
+}
+
+ProfileRequest instanceProfileRequest(const Instance& instance) {
+  return detailProfileRequest(instance.spec, instance.gc, instance.deadline);
 }
 
 } // namespace cawo

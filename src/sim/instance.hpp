@@ -52,4 +52,11 @@ struct Instance {
 /// over exactly [0, deadline).
 Instance buildInstance(const InstanceSpec& spec);
 
+/// The exact ProfileRequest `buildInstance` used for this instance
+/// (horizon, power band, interval count, derived legacy seed). The online
+/// layers resolve *additional* profiles — an `actual` spec, or the
+/// forecast/actual pair of the instance's own spec — through this request
+/// so they are bit-identical to what a fresh build would generate.
+ProfileRequest instanceProfileRequest(const Instance& instance);
+
 } // namespace cawo

@@ -62,6 +62,54 @@ std::string SolverOptions::getString(const std::string& key,
   return it == values_.end() ? fallback : it->second;
 }
 
+ValidationResult validateResidualSchedule(const EnhancedGraph& gc,
+                                          const Schedule& s, Time deadline,
+                                          const ResidualProblem& residual) {
+  const auto fail = [](std::string message) {
+    ValidationResult r;
+    r.ok = false;
+    r.message = std::move(message);
+    return r;
+  };
+  const std::vector<std::uint8_t>& started = *residual.started;
+  const std::vector<Time>& durations = *residual.durations;
+  const auto startedEnd = [&](TaskId u) {
+    return residual.starts->start(u) + durations[static_cast<std::size_t>(u)];
+  };
+  for (TaskId u = 0; u < gc.numNodes(); ++u) {
+    if (!s.isSet(u)) return fail("node " + std::to_string(u) + " has no start");
+    if (started[static_cast<std::size_t>(u)]) {
+      if (s.start(u) != residual.starts->start(u))
+        return fail("started node " + std::to_string(u) +
+                    " was moved from its pinned start");
+      continue;
+    }
+    const Time a = s.start(u);
+    if (a < residual.releaseTime)
+      return fail("movable node " + std::to_string(u) +
+                  " starts before the release time");
+    if (a + gc.len(u) > deadline)
+      return fail("movable node " + std::to_string(u) +
+                  " finishes after the deadline");
+    for (const TaskId p : gc.preds(u)) {
+      // Started predecessors bound by their *effective* completion
+      // (actual for completed, estimated for running); movable ones by
+      // their planned occupancy.
+      const Time predEnd = started[static_cast<std::size_t>(p)]
+                               ? startedEnd(p)
+                               : (s.isSet(p) ? s.start(p) + gc.len(p)
+                                             : kTimeInfinity);
+      if (predEnd == kTimeInfinity)
+        return fail("node " + std::to_string(p) + " has no start");
+      if (a < predEnd)
+        return fail("movable node " + std::to_string(u) +
+                    " starts before predecessor " + std::to_string(p) +
+                    " completes");
+    }
+  }
+  return {};
+}
+
 SolveResult Solver::solve(const SolveRequest& request) const {
   const SolverInfo meta = info();
   CAWO_REQUIRE(request.gc != nullptr,
@@ -77,6 +125,27 @@ SolveResult Solver::solve(const SolveRequest& request) const {
                  "solver '" + meta.name +
                      "' re-runs the mapping pass and needs "
                      "SolveRequest.graph and SolveRequest.platform");
+  }
+  if (request.residual != nullptr) {
+    CAWO_REQUIRE(meta.supportsResidual,
+                 "solver '" + meta.name +
+                     "' does not support residual (mid-execution) problems");
+    const ResidualProblem& residual = *request.residual;
+    CAWO_REQUIRE(residual.starts != nullptr && residual.started != nullptr &&
+                     residual.durations != nullptr,
+                 "ResidualProblem needs starts, started and durations "
+                 "(solver '" + meta.name + "')");
+    CAWO_REQUIRE(
+        residual.started->size() ==
+                static_cast<std::size_t>(request.gc->numNodes()) &&
+            residual.durations->size() == residual.started->size() &&
+            static_cast<std::size_t>(residual.starts->numNodes()) ==
+                residual.started->size(),
+        "ResidualProblem vectors do not match the graph (solver '" +
+            meta.name + "')");
+    CAWO_REQUIRE(residual.releaseTime >= 0,
+                 "ResidualProblem.releaseTime must be non-negative (solver '" +
+                     meta.name + "')");
   }
   if (request.context != nullptr) {
     CAWO_REQUIRE(&request.context->gc() == request.gc &&
@@ -106,6 +175,20 @@ SolveResult Solver::solve(const SolveRequest& request) const {
   const PowerProfile& profile =
       result.extendedProfile ? *result.extendedProfile : *request.profile;
 
+  if (request.residual != nullptr) {
+    // A residual solution is judged against the execution-aware rules: the
+    // pinned prefix ran with its *effective* durations, which the plain
+    // planned-length validation would mis-score (a task that ran short
+    // legitimately frees its processor early). The projected cost uses the
+    // same effective durations.
+    result.validation = validateResidualSchedule(
+        gc, result.schedule, result.effectiveDeadline, *request.residual);
+    result.feasible = result.validation.ok;
+    if (result.feasible)
+      result.cost = evaluateCostWithDurations(gc, profile, result.schedule,
+                                              *request.residual->durations);
+    return result;
+  }
   result.validation =
       validateSchedule(gc, result.schedule, result.effectiveDeadline);
   result.feasible = result.validation.ok;

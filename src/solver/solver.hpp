@@ -33,6 +33,30 @@
 namespace cawo {
 
 class SolveContext;
+class WindowState;
+
+/// A residual scheduling problem: part of the instance has already
+/// *executed* (the online replay engine's completed and running tasks) and
+/// only the remaining nodes are movable. Pointed-to objects must outlive
+/// the solve call.
+///
+/// Contract: `starts`/`started` pin every started node at its observed
+/// start time; `durations[u]` is the node's effective duration — the
+/// *actual* runtime for completed nodes, the planned ω(u) estimate for
+/// running and unstarted ones. Movable nodes must be scheduled no earlier
+/// than `releaseTime` (the wall-clock now; every completed node has
+/// finished by then). `windows` optionally hands the solver the engine's
+/// incrementally maintained pinned-prefix EST/LST state so the re-solve
+/// starts from the repaired fixpoint instead of re-pinning from scratch;
+/// when given it must describe exactly the (gc, deadline, started-set)
+/// of this request.
+struct ResidualProblem {
+  const Schedule* starts = nullptr;
+  const std::vector<std::uint8_t>* started = nullptr;
+  const std::vector<Time>* durations = nullptr;
+  Time releaseTime = 0;
+  const WindowState* windows = nullptr;
+};
 
 /// Static metadata and capability flags of a solver.
 struct SolverInfo {
@@ -49,6 +73,10 @@ struct SolverInfo {
   bool remapsGraph = false;
   /// Needs `SolveRequest::graph` and `SolveRequest::platform` to be set.
   bool needsWorkflow = false;
+  /// Accepts residual problems (`SolveRequest::residual`): re-scheduling
+  /// the not-yet-started remainder of a partially executed instance (the
+  /// online replay engine's mid-execution re-solves).
+  bool supportsResidual = false;
 };
 
 /// String-keyed options bag with typed accessors. Unknown keys are simply
@@ -95,6 +123,12 @@ struct SolveRequest {
   /// without a context compute (or build) what they need themselves, with
   /// identical results either way.
   const SolveContext* context = nullptr;
+
+  /// Optional residual problem: when set, the solver must keep every
+  /// started node pinned and only place the remaining movable nodes (no
+  /// earlier than `residual->releaseTime`). Solvers whose info() does not
+  /// set `supportsResidual` reject such requests.
+  const ResidualProblem* residual = nullptr;
 
   SolverOptions options;
 };
@@ -154,5 +188,17 @@ protected:
 };
 
 using SolverPtr = std::unique_ptr<Solver>;
+
+/// Feasibility check for a residual solution: every node has a start,
+/// started nodes kept their pinned starts, and every movable node starts at
+/// or after the release time, finishes (with its planned length) by the
+/// deadline, and respects precedence — against the *effective* completion
+/// times of started predecessors (`residual.durations`) and the planned
+/// lengths of movable ones. The planned-length occupancy of Gc's
+/// per-processor chain edges makes this subsume exclusivity, exactly as in
+/// `validateSchedule`.
+ValidationResult validateResidualSchedule(const EnhancedGraph& gc,
+                                          const Schedule& s, Time deadline,
+                                          const ResidualProblem& residual);
 
 } // namespace cawo

@@ -76,6 +76,7 @@ public:
         (spec_.weighted ? ", power-weighted" : "") +
         (spec_.refined ? ", refined intervals" : "") +
         (spec_.localSearch ? ", + local search" : "");
+    meta.supportsResidual = true;
     return meta;
   }
 
@@ -86,6 +87,28 @@ protected:
     if (ctx == nullptr) {
       local.emplace(*request.gc, *request.profile, request.deadline);
       ctx = &*local;
+    }
+
+    if (request.residual != nullptr) {
+      // Mid-execution re-solve: pinned-prefix greedy over the movable
+      // remainder. The -LS pass is skipped — its moves are not
+      // pin-aware, and re-solves must stay cheap enough to run at every
+      // event (see DESIGN.md, "Online execution engine").
+      const CaWoParams params = paramsFromOptions(request.options);
+      GreedyOptions gopts;
+      gopts.base = spec_.base;
+      gopts.weighted = spec_.weighted;
+      gopts.refined = spec_.refined;
+      gopts.blockSize = params.blockSize;
+      GreedyResidual residual;
+      residual.starts = request.residual->starts;
+      residual.started = request.residual->started;
+      residual.durations = request.residual->durations;
+      residual.releaseTime = request.residual->releaseTime;
+      residual.windows = request.residual->windows;
+      RawResult raw;
+      raw.schedule = scheduleGreedyResidual(*ctx, gopts, residual);
+      return raw;
     }
 
     VariantRunStats run;

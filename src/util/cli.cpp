@@ -9,10 +9,23 @@
 namespace cawo {
 
 CliArgs::CliArgs(int argc, const char* const* argv,
-                 const std::vector<std::string>& knownFlags) {
+                 const std::vector<std::string>& knownFlags,
+                 const std::string& context) {
+  // A typo'd flag must not just name itself — it lists what *would* have
+  // been accepted, per surface/subcommand.
+  const auto validList = [&knownFlags] {
+    std::string out;
+    for (const std::string& flag : knownFlags) {
+      if (!out.empty()) out += ", ";
+      out += "--" + flag;
+    }
+    return out;
+  };
+  const std::string where = context.empty() ? "" : " for " + context;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    CAWO_REQUIRE(startsWith(arg, "--"), "unexpected positional argument: " + arg);
+    CAWO_REQUIRE(startsWith(arg, "--"),
+                 "unexpected positional argument" + where + ": " + arg);
     arg = arg.substr(2);
     std::string name;
     std::string value;
@@ -30,7 +43,8 @@ CliArgs::CliArgs(int argc, const char* const* argv,
     }
     CAWO_REQUIRE(std::find(knownFlags.begin(), knownFlags.end(), name) !=
                      knownFlags.end(),
-                 "unknown flag --" + name);
+                 "unknown flag --" + name + where + " (valid: " +
+                     validList() + ")");
     values_[name] = value;
   }
 }

@@ -9,14 +9,20 @@
 /// Minimal command-line flag parser for bench/example binaries.
 ///
 /// Supported syntax: `--name=value`, `--name value`, and boolean `--name`.
-/// Unknown flags raise an error so typos don't silently change experiments.
+/// Unknown flags raise an error that names the offending flag *and* lists
+/// every flag the (sub)command accepts, so typos don't silently change
+/// experiments and the fix is visible without reaching for --help.
 
 namespace cawo {
 
 class CliArgs {
 public:
+  /// Parse `argv`; `context` names the surface for error messages (e.g.
+  /// "cawosched-cli replay") — unknown-flag errors read
+  /// "unknown flag --foo for <context> (valid: --a, --b, ...)".
   CliArgs(int argc, const char* const* argv,
-          const std::vector<std::string>& knownFlags);
+          const std::vector<std::string>& knownFlags,
+          const std::string& context = "");
 
   bool has(const std::string& name) const;
   std::int64_t getInt(const std::string& name, std::int64_t fallback) const;

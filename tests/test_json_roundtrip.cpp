@@ -1,0 +1,147 @@
+// Writer ↔ parser number round-trips for exp/json: `jsonNumber` must emit
+// the shortest representation that parses back to exactly the same double
+// (tiny exponent-notation regret values included), `-0.0` must keep its
+// sign and double-ness end to end, and the number scanner must accept
+// exactly the JSON grammar (strict exponents, no partial-consumption
+// garbage).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iterator>
+#include <limits>
+#include <sstream>
+
+#include "exp/json.hpp"
+#include "util/require.hpp"
+
+namespace cawo {
+namespace {
+
+const double kTrickyDoubles[] = {
+    0.0,
+    1.0,
+    -1.0,
+    1.0 / 3.0,
+    2.0 / 3.0,
+    0.1,
+    1e-300,
+    -1e-300,
+    6.02214076e23,
+    1.0000000000000002,      // 1 + ulp
+    1e-9 + 1e-24,
+    5e-324,                  // smallest subnormal
+    std::numeric_limits<double>::denorm_min(),
+    std::numeric_limits<double>::min(),
+    std::numeric_limits<double>::max(),
+    0.104704374886,          // a 12-digit golden-era ratio value
+    1.0000001923784523,      // tiny-regret-ratio shape
+};
+
+TEST(JsonNumber, EveryFiniteDoubleRoundTripsExactly) {
+  for (const double v : kTrickyDoubles) {
+    const std::string text = jsonNumber(v);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, v) << "jsonNumber(" << v << ") = \"" << text
+                       << "\" does not parse back exactly";
+  }
+}
+
+TEST(JsonNumber, TwelveDigitRepresentationsKeepTheirHistoricalBytes) {
+  // Values that already round-trip at 12 significant digits must not gain
+  // digits — the campaign golden depends on it.
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  EXPECT_EQ(jsonNumber(0.5), "0.5");
+  EXPECT_EQ(jsonNumber(2.0), "2");
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(1e20), "1e+20");
+}
+
+TEST(JsonNumber, NegativeZeroKeepsSignAndFraction) {
+  EXPECT_EQ(jsonNumber(-0.0), "-0.0");
+  const JsonValue v = JsonValue::parse("-0.0");
+  EXPECT_FALSE(v.isInteger());
+  EXPECT_TRUE(std::signbit(v.asDouble()));
+  // Full write → parse → write cycle is the identity.
+  EXPECT_EQ(jsonNumber(v.asDouble()), "-0.0");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonRoundTrip, WriterToParserIsBitExactForArraysOfDoubles) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginArray();
+  for (const double v : kTrickyDoubles) w.value(v);
+  w.value(-0.0);
+  w.endArray();
+
+  const JsonValue doc = JsonValue::parse(out.str());
+  const auto& values = doc.asArray();
+  ASSERT_EQ(values.size(), std::size(kTrickyDoubles) + 1);
+  for (std::size_t i = 0; i < std::size(kTrickyDoubles); ++i) {
+    EXPECT_EQ(values[i].asDouble(), kTrickyDoubles[i]) << "index " << i;
+  }
+  EXPECT_TRUE(std::signbit(values.back().asDouble()));
+}
+
+TEST(JsonRoundTrip, ReWritingAParsedDocumentIsIdempotent) {
+  // parse → write → parse → write must be a fixpoint for numbers of every
+  // spelling, including exponent notation.
+  const auto rewrite = [](const std::string& numberText) {
+    const JsonValue v = JsonValue::parse(numberText);
+    return v.isInteger() ? std::to_string(v.asInt())
+                         : jsonNumber(v.asDouble());
+  };
+  for (const char* text :
+       {"1e-20", "2.5e-8", "-3.25E+12", "0.104704374886", "123", "-0.0",
+        "1.0000000000000002"}) {
+    const std::string once = rewrite(text);
+    EXPECT_EQ(rewrite(once), once) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strict number grammar
+// ---------------------------------------------------------------------------
+
+TEST(JsonNumberParsing, AcceptsTheFullJsonGrammar) {
+  EXPECT_EQ(JsonValue::parse("0").asInt(), 0);
+  EXPECT_EQ(JsonValue::parse("-7").asInt(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.25").asDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").asDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1E+3").asDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e-2").asDouble(), 0.025);
+}
+
+TEST(JsonNumberParsing, IntegralExponentFormsRoundTripAsIntegers) {
+  // "1e3" and "42.0" are integers in every JSON toolchain (python's
+  // json.tool happily writes them); asInt must work and a re-write emits
+  // the canonical integer form.
+  EXPECT_TRUE(JsonValue::parse("1e3").isInteger());
+  EXPECT_EQ(JsonValue::parse("1e3").asInt(), 1000);
+  EXPECT_TRUE(JsonValue::parse("42.0").isInteger());
+  EXPECT_EQ(JsonValue::parse("42.0").asInt(), 42);
+  // Huge exponents exceed exact-integer range and stay doubles.
+  EXPECT_FALSE(JsonValue::parse("1e30").isInteger());
+}
+
+TEST(JsonNumberParsing, RejectsPartialConsumptionGarbage) {
+  // The old scanner let std::stod's partial consumption turn these into
+  // numbers silently.
+  for (const char* text :
+       {"1-2", "1+2", "+5", "1.", ".5", "1e", "1e+", "1.2.3", "1e5e6",
+        "--1", "0x10", "01", "-007"}) {
+    EXPECT_THROW(JsonValue::parse(text), PreconditionError) << text;
+  }
+  // Exponents MAY carry leading zeros ("1e05" is valid JSON).
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e05").asDouble(), 1e5);
+}
+
+} // namespace
+} // namespace cawo

@@ -287,6 +287,47 @@ TEST(ProfileSourceProperty, GenerationIsDeterministicPerSeed) {
   }
 }
 
+// A spec with an explicit `seed=` must be bit-identical no matter which
+// surface resolved it: direct registry resolution, the one-call
+// generateProfile path, and campaign-style splitSpecList axis expansion
+// (where the spec's own commas are re-glued) all feed the same generator
+// with the same seed — and the request's seed must not leak in.
+TEST(ProfileSourceProperty, ExplicitNoiseSeedIsDeterministicAcrossSurfaces) {
+  for (const char* specText :
+       {"S1+noise=0.2,seed=77", "duck+noise=0.3,seed=77",
+        "sine:period=6,amp=0.4+noise=0.25,seed=77"}) {
+    const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
+
+    // Direct resolution.
+    const PowerProfile direct =
+        registry.generate(registry.resolve(specText), testRequest());
+
+    // Axis expansion: the spec travels through a comma-separated scenario
+    // list and must come back out verbatim.
+    const std::vector<std::string> axis =
+        splitSpecList(std::string("S4,") + specText + ",constant:level=0.5");
+    ASSERT_EQ(axis.size(), 3u) << specText;
+    ASSERT_EQ(axis[1], specText);
+    const PowerProfile viaAxis = generateProfile(axis[1], testRequest());
+
+    // A different request seed must not change anything — the explicit
+    // spec seed wins.
+    ProfileRequest otherSeed = testRequest();
+    otherSeed.seed = 0xDEADBEEFULL;
+    const PowerProfile viaOtherRequest = generateProfile(specText, otherSeed);
+
+    ASSERT_EQ(direct.numIntervals(), viaAxis.numIntervals()) << specText;
+    ASSERT_EQ(direct.numIntervals(), viaOtherRequest.numIntervals())
+        << specText;
+    for (std::size_t j = 0; j < direct.numIntervals(); ++j) {
+      const Interval& iv = direct.interval(j);
+      EXPECT_EQ(iv.begin, viaAxis.interval(j).begin) << specText;
+      EXPECT_EQ(iv.green, viaAxis.interval(j).green) << specText;
+      EXPECT_EQ(iv.green, viaOtherRequest.interval(j).green) << specText;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Golden parity of the paper scenarios
 // ---------------------------------------------------------------------------

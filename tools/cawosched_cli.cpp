@@ -14,6 +14,12 @@
 //   cawosched-cli campaign [--campaign=<file>] [--out=results.json]
 //                 [--summary] [--threads=N] [--quiet]
 //                 [--<axis>=<comma list> ...]   (overrides the file)
+//   cawosched-cli replay [--list-policies]
+//                 [--family=atacseq] [--tasks=60] [--nodes-per-type=2]
+//                 [--intervals=24] [--deadline-factor=2.0] [--seed=1]
+//                 [--forecast=SPEC] [--actual=SPEC] [--policy=SPEC,...]
+//                 [--algo=NAME] [--runtime-noise=A] [--runtime-seed=N]
+//                 [--out=replay.json]
 //
 // The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
 // is built, and every selected solver runs against the profile. Without
@@ -34,6 +40,7 @@
 // --algo=<name>, and --green-heft equals --algo=greenheft.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "core/asap.hpp"
@@ -41,7 +48,11 @@
 #include "core/schedule_io.hpp"
 #include "exp/campaign.hpp"
 #include "exp/campaign_runner.hpp"
+#include "exp/json.hpp"
 #include "heft/heft.hpp"
+#include "online/policy.hpp"
+#include "online/replay.hpp"
+#include "online/result_json.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profile_source.hpp"
 #include "sim/table.hpp"
@@ -63,7 +74,9 @@ int runCampaignCommand(int argc, const char* const* argv) {
                      {"campaign", "out", "summary", "quiet", "help", "name",
                       "families", "tasks", "bacass-tasks", "nodes-per-type",
                       "scenarios", "deadline-factors", "seeds", "intervals",
-                      "algos", "threads", "block-size", "ls-radius"});
+                      "algos", "threads", "block-size", "ls-radius", "online",
+                      "actual", "policies", "runtime-noise"},
+                     "cawosched-cli campaign");
   if (args.has("help")) {
     std::cout
         << "usage: cawosched-cli campaign [--campaign=<file>] "
@@ -74,7 +87,12 @@ int runCampaignCommand(int argc, const char* const* argv) {
            "[--scenarios=SPEC,...|all]\n"
            "  [--deadline-factors=1.5,2.0] [--seeds=a,b] [--intervals=J] "
            "[--algos=SEL]\n"
-           "  [--block-size=3] [--ls-radius=10]\n"
+           "  [--block-size=3] [--ls-radius=10] [--online=1] "
+           "[--actual=SPEC]\n"
+           "  [--policies=SPEC,...] [--runtime-noise=A]\n"
+           "With --online=1 every (instance, solver, policy) cell runs "
+           "through the online\nreplay engine (see `cawosched-cli replay "
+           "--help`).\n"
            "The campaign file holds the same keys as the flags "
            "(key = value lines or a JSON\nobject, see docs/formats.md); "
            "flags override the file. The scenarios axis takes\nany "
@@ -91,7 +109,7 @@ int runCampaignCommand(int argc, const char* const* argv) {
   for (const char* key :
        {"name", "families", "tasks", "bacass-tasks", "nodes-per-type",
         "scenarios", "deadline-factors", "seeds", "intervals", "algos",
-        "threads"}) {
+        "threads", "online", "actual", "policies", "runtime-noise"}) {
     if (args.has(key)) setCampaignKey(spec, key, args.getString(key, ""));
   }
 
@@ -101,10 +119,15 @@ int runCampaignCommand(int argc, const char* const* argv) {
 
   const bool quiet = args.has("quiet");
   const std::vector<std::string> solvers = campaignSolverNames(spec);
-  if (!quiet)
+  if (!quiet) {
     std::cout << "campaign \"" << spec.name << "\": " << spec.cellCount()
-              << " instances × " << solvers.size() << " solvers ("
-              << spec.cellCount() * solvers.size() << " cells)\n";
+              << " instances × " << solvers.size() << " solvers";
+    if (spec.online)
+      std::cout << " × " << spec.policies.size() << " policies (online)";
+    std::cout << " ("
+              << spec.cellCount() * solvers.size() * spec.policyCount()
+              << " cells)\n";
+  }
 
   const CampaignOutcome outcome = runCampaign(spec, options);
 
@@ -117,6 +140,149 @@ int runCampaignCommand(int argc, const char* const* argv) {
       std::cout << "\n" << outcome.records.size() << " JSON records written "
                 << "to " << out << "\n";
   }
+  return 0;
+}
+
+int listPolicies() {
+  const ReschedulePolicyRegistry& registry = ReschedulePolicyRegistry::global();
+  TextTable table({"policy", "spec syntax", "description"});
+  for (const std::string& name : registry.names()) {
+    const PolicyInfo& meta = registry.info(name);
+    table.addRow({meta.name, meta.syntax, meta.description});
+  }
+  table.print(std::cout);
+  std::cout << "\npass one or more specs via --policy "
+               "(e.g. --policy=static,periodic:every=4,"
+               "reactive:threshold=0.15).\n";
+  return 0;
+}
+
+/// `cawosched-cli replay ...` — execute one instance through the online
+/// replay engine: plan against the forecast, bill against the actual,
+/// compare rescheduling policies. `argv` starts after the subcommand word.
+int runReplayCommand(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"help", "list-policies", "family", "tasks",
+                      "nodes-per-type", "intervals", "deadline-factor",
+                      "seed", "forecast", "actual", "policy", "algo",
+                      "runtime-noise", "runtime-seed", "block-size",
+                      "ls-radius", "alpha", "out"},
+                     "cawosched-cli replay");
+  if (args.has("help")) {
+    std::cout
+        << "usage: cawosched-cli replay [--list-policies]\n"
+           "  [--family=atacseq] [--tasks=60] [--nodes-per-type=2] "
+           "[--intervals=24]\n"
+           "  [--deadline-factor=2.0] [--seed=1] [--forecast=SPEC] "
+           "[--actual=SPEC]\n"
+           "  [--policy=SPEC,...] [--algo=NAME] [--runtime-noise=A] "
+           "[--runtime-seed=N]\n"
+           "  [--block-size=3] [--ls-radius=10] [--alpha=0.5] "
+           "[--out=replay.json]\n"
+           "The solver plans against --forecast (any profile spec; its "
+           "+noise modifier is\nread as forecast error) and execution is "
+           "billed against --actual (defaults to\nthe forecast's noisy "
+           "counterpart). Each --policy runs one replay; see\n"
+           "--list-policies and docs/cli.md for a walkthrough.\n";
+    return 0;
+  }
+  if (args.has("list-policies")) return listPolicies();
+
+  InstanceSpec spec;
+  spec.family = familyFromName(args.getString("family", "atacseq"));
+  spec.targetTasks = static_cast<int>(args.getInt("tasks", 60));
+  spec.nodesPerType = static_cast<int>(args.getInt("nodes-per-type", 2));
+  spec.numIntervals = static_cast<int>(args.getInt("intervals", 24));
+  spec.deadlineFactor = args.getDouble("deadline-factor", 2.0);
+  spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  spec.scenario = args.getString("forecast", "S1");
+  const std::string actualSpec = args.getString("actual", "");
+
+  const std::vector<std::string> policies =
+      splitSpecList(args.getString("policy", "static"));
+  CAWO_REQUIRE(!policies.empty(), "no rescheduling policy given");
+  for (const std::string& policy : policies)
+    (void)ReschedulePolicyRegistry::global().resolve(policy);
+
+  OnlineOptions opts;
+  opts.solver = args.getString("algo", "pressWR-LS");
+  opts.runtimeNoise = args.getDouble("runtime-noise", 0.0);
+  opts.runtimeSeed =
+      static_cast<std::uint64_t>(args.getInt("runtime-seed", 1));
+  if (args.has("alpha"))
+    opts.solverOptions.setDouble("alpha", args.getDouble("alpha", 0.5));
+  opts.solverOptions.setInt("block-size", args.getInt("block-size", 3));
+  opts.solverOptions.setInt("ls-radius", args.getInt("ls-radius", 10));
+
+  const Instance inst = buildInstance(spec);
+  std::cout << "instance      : " << inst.spec.label() << " ("
+            << inst.gc.numNodes() << " enhanced nodes)\n"
+            << "ASAP makespan : " << inst.asapMakespanD
+            << "  deadline: " << inst.deadline << "\n"
+            << "forecast      : " << spec.scenario << "\n"
+            << "actual        : "
+            << (actualSpec.empty() ? spec.scenario + " (noise pair)"
+                                   : actualSpec)
+            << "   runtime noise: " << opts.runtimeNoise << "\n"
+            << "solver        : " << opts.solver << "\n\n";
+
+  const std::vector<OnlineResult> results =
+      replayOnlinePolicies(inst, actualSpec, opts, policies);
+
+  TextTable table({"policy", "actual cost", "plan cost", "clairvoyant",
+                   "regret", "re-solves", "resolve ms", "deadline"});
+  for (const OnlineResult& r : results) {
+    if (!r.ran) {
+      table.addRow({r.policy, "-", "-", "-", "-", "-", "-", "failed"});
+      continue;
+    }
+    table.addRow(
+        {r.policy, std::to_string(r.actualCost),
+         std::to_string(r.forecastCost),
+         r.clairvoyantFeasible ? std::to_string(r.clairvoyantCost) : "-",
+         r.clairvoyantFeasible ? std::to_string(r.regret) : "-",
+         std::to_string(r.resolveCount) + " (" +
+             std::to_string(r.resolveAccepted) + " ok)",
+         formatFixed(r.resolveWallMs, 2), r.deadlineMet ? "met" : "MISSED"});
+  }
+  table.print(std::cout);
+  for (const OnlineResult& r : results)
+    if (!r.ran)
+      std::cout << "note: " << r.policy << " failed — " << r.error << "\n";
+
+  if (args.has("out")) {
+    const std::string out = args.getString("out", "replay.json");
+    std::ofstream file(out);
+    CAWO_REQUIRE(file.good(), "cannot open result file for writing: " + out);
+    JsonWriter w(file);
+    w.beginObject();
+    w.key("schema").value("cawosched-replay-v1");
+    w.key("instance").value(inst.spec.label());
+    w.key("solver").value(opts.solver);
+    w.key("forecast").value(spec.scenario);
+    if (actualSpec.empty()) w.key("actual").null();
+    else w.key("actual").value(actualSpec);
+    w.key("runtime_noise").value(opts.runtimeNoise);
+    w.key("deadline").value(static_cast<std::int64_t>(inst.deadline));
+    w.key("records");
+    w.beginArray();
+    for (const OnlineResult& r : results) {
+      w.compactNext();
+      w.beginObject();
+      w.key("policy").value(r.policy);
+      w.key("ran").value(r.ran);
+      if (r.ran) writeOnlineResultFields(w, r);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    file << '\n';
+    CAWO_REQUIRE(file.good(), "failed writing result file: " + out);
+    std::cout << "\nreplay records written to " << out << "\n";
+  }
+  // A run where any replay failed must not read as success to scripts/CI.
+  for (const OnlineResult& r : results)
+    if (!r.ran) return 1;
   return 0;
 }
 
@@ -165,6 +331,8 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::string(argv[1]) == "campaign")
       return runCampaignCommand(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "replay")
+      return runReplayCommand(argc - 1, argv + 1);
 
     const CliArgs args(
         argc, argv,
@@ -172,7 +340,8 @@ int main(int argc, char** argv) {
          "nodes-per-type", "scenario", "intervals", "green-heft", "alpha",
          "block-size", "ls-radius", "bnb-max-nodes", "bnb-time-limit",
          "threads", "list-algos", "list-scenarios", "out", "gantt", "seed",
-         "help"});
+         "help"},
+        "cawosched-cli");
 
     if (args.has("list-algos")) return listAlgos();
     if (args.has("list-scenarios")) return listScenarios();
@@ -187,8 +356,12 @@ int main(int argc, char** argv) {
              "  [--bnb-max-nodes=N] [--bnb-time-limit=SEC] "
              "[--out=schedule.csv] [--gantt] [--seed=1]\n"
              "  cawosched-cli --list-algos | --list-scenarios\n"
-             "  cawosched-cli campaign [--campaign=<file>] "
-             "[--out=results.json] [--summary] (see campaign --help)\n"
+             "subcommands:\n"
+             "  campaign  run a declarative experiment campaign "
+             "(see campaign --help)\n"
+             "  replay    online forecast-vs-actual execution replay "
+             "(see replay --help,\n"
+             "            replay --list-policies)\n"
              "SPEC is any registered profile source, e.g. S1, duck, "
              "sine:period=24,amp=0.5,\ntrace:grid.csv,repeat=1 — see "
              "--list-scenarios.\n";
