@@ -1,0 +1,455 @@
+// bench_serve_loadgen — load generator for the scheduler-as-a-service
+// daemon (src/serve): drives a ServeServer with concurrent clients, both
+// in-process (submitLine directly — measures the daemon core) and over a
+// real loopback TCP socket (measures the full wire path), and reports
+// throughput plus end-to-end latency percentiles per mode. Requests cycle
+// through a configurable number of distinct instances, so the run also
+// exercises the SolveContext LRU cache (hit counters are reported).
+//
+//   $ ./bench_serve_loadgen [--requests=1000] [--clients=8] [--workers=0]
+//       [--queue-capacity=256] [--cache-capacity=16]
+//       [--distinct-instances=4] [--tasks=30] [--intervals=8]
+//       [--deadline-factor=2.0] [--algo=pressWR-LS] [--replay-every=0]
+//       [--modes=inprocess,socket] [--out=BENCH_serve.json]
+//
+// Each client keeps one request outstanding (closed-loop load);
+// queue_full rejections are retried after a short backoff and counted.
+// --replay-every=N turns every Nth request into a replay (0 = none).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "sim/table.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace cawo;
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  int requests = 1000;
+  int clients = 8;
+  int distinctInstances = 4;
+  int tasks = 30;
+  int intervals = 8;
+  double deadlineFactor = 2.0;
+  std::string algo = "pressWR-LS";
+  int replayEvery = 0; ///< every Nth request is a replay; 0 = never
+};
+
+struct LatencySummary {
+  std::int64_t count = 0;
+  double meanMs = 0.0;
+  double p50Ms = 0.0;
+  double p90Ms = 0.0;
+  double p99Ms = 0.0;
+  double p999Ms = 0.0;
+  double maxMs = 0.0;
+};
+
+struct ModeOutcome {
+  std::string mode;
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;
+  std::int64_t retries = 0; ///< queue_full rejections that were retried
+  double wallS = 0.0;
+  double throughputRps = 0.0;
+  LatencySummary latency;
+  ServeStats server; ///< the daemon's own view after the run
+};
+
+LatencySummary summariseLatencies(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.meanMs = sum / static_cast<double>(samples.size());
+  const auto pct = [&samples](double q) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size()));
+    return samples[std::min(rank, samples.size() - 1)];
+  };
+  s.p50Ms = pct(0.50);
+  s.p90Ms = pct(0.90);
+  s.p99Ms = pct(0.99);
+  s.p999Ms = pct(0.999);
+  s.maxMs = samples.back();
+  return s;
+}
+
+/// The i-th request line: solve (or replay, per --replay-every) on one of
+/// the cycled instances.
+std::string requestLine(const LoadConfig& config, int i) {
+  const int seed = 1 + i % std::max(1, config.distinctInstances);
+  const bool replay =
+      config.replayEvery > 0 && (i + 1) % config.replayEvery == 0;
+  std::string line = "{\"kind\":\"";
+  line += replay ? "replay" : "solve";
+  line += "\",\"id\":\"q" + std::to_string(i) + "\",\"tasks\":" +
+          std::to_string(config.tasks) + ",\"intervals\":" +
+          std::to_string(config.intervals) + ",\"deadline_factor\":" +
+          jsonNumber(config.deadlineFactor) + ",\"seed\":" +
+          std::to_string(seed) + ",\"algo\":\"" + config.algo + "\"";
+  if (replay) line += ",\"policy\":\"static\",\"actual\":\"S2\"";
+  line += "}";
+  return line;
+}
+
+bool isQueueFull(const std::string& response) {
+  return response.find("\"error\": \"queue_full\"") != std::string::npos;
+}
+
+bool isOk(const std::string& response) {
+  return response.find("\"ok\": true") != std::string::npos;
+}
+
+/// Closed-loop in-process run: each client thread keeps one request
+/// outstanding against server.submitLine.
+ModeOutcome runInProcess(ServeServer& server, const LoadConfig& config) {
+  ModeOutcome outcome;
+  outcome.mode = "inprocess";
+  std::atomic<int> next{0};
+  std::atomic<std::int64_t> ok{0}, errors{0}, retries{0};
+  std::mutex latencyMutex;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(config.requests));
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= config.requests) return;
+        const std::string line = requestLine(config, i);
+        for (;;) {
+          std::mutex m;
+          std::condition_variable cv;
+          std::string response;
+          bool got = false;
+          const Clock::time_point start = Clock::now();
+          server.submitLine(line, [&](const std::string& r) {
+            {
+              const std::scoped_lock lock(m);
+              response = r;
+              got = true;
+            }
+            cv.notify_one();
+          });
+          {
+            std::unique_lock lock(m);
+            cv.wait(lock, [&] { return got; });
+          }
+          if (isQueueFull(response)) {
+            ++retries;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+          }
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+          if (isOk(response)) ++ok;
+          else ++errors;
+          const std::scoped_lock lock(latencyMutex);
+          latencies.push_back(ms);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+  outcome.wallS =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  outcome.ok = ok;
+  outcome.errors = errors;
+  outcome.retries = retries;
+  outcome.throughputRps =
+      outcome.wallS > 0.0
+          ? static_cast<double>(config.requests) / outcome.wallS
+          : 0.0;
+  outcome.latency = summariseLatencies(std::move(latencies));
+  outcome.server = server.stats();
+  return outcome;
+}
+
+int connectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CAWO_REQUIRE(fd >= 0,
+               std::string("cannot create socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  CAWO_REQUIRE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+               "cannot connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                   std::strerror(errno));
+  return fd;
+}
+
+void sendAll(int fd, const std::string& payload) {
+  const char* data = payload.data();
+  std::size_t left = payload.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+    CAWO_REQUIRE(n > 0, "socket send failed");
+    data += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+/// One synchronous request over an established connection (each client
+/// keeps exactly one outstanding, so responses arrive in order).
+std::string requestOverSocket(int fd, const std::string& line,
+                              std::string& buffer) {
+  sendAll(fd, line + "\n");
+  std::size_t eol;
+  while ((eol = buffer.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    CAWO_REQUIRE(n > 0, "connection closed mid-response");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string response = buffer.substr(0, eol);
+  buffer.erase(0, eol + 1);
+  return response;
+}
+
+/// Closed-loop socket run: same request stream, but every byte travels
+/// through the loopback TCP transport.
+ModeOutcome runOverSocket(ServeServer& server, const LoadConfig& config) {
+  ModeOutcome outcome;
+  outcome.mode = "socket";
+  TcpServeListener listener(server, 0);
+
+  std::atomic<int> next{0};
+  std::atomic<std::int64_t> ok{0}, errors{0}, retries{0};
+  std::mutex latencyMutex;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(config.requests));
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, port = listener.port()] {
+      const int fd = connectLoopback(port);
+      std::string buffer;
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= config.requests) break;
+        const std::string line = requestLine(config, i);
+        for (;;) {
+          const Clock::time_point start = Clock::now();
+          const std::string response =
+              requestOverSocket(fd, line, buffer);
+          if (isQueueFull(response)) {
+            ++retries;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+          }
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+          if (isOk(response)) ++ok;
+          else ++errors;
+          const std::scoped_lock lock(latencyMutex);
+          latencies.push_back(ms);
+          break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+  outcome.wallS =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  listener.stop();
+
+  outcome.ok = ok;
+  outcome.errors = errors;
+  outcome.retries = retries;
+  outcome.throughputRps =
+      outcome.wallS > 0.0
+          ? static_cast<double>(config.requests) / outcome.wallS
+          : 0.0;
+  outcome.latency = summariseLatencies(std::move(latencies));
+  outcome.server = server.stats();
+  return outcome;
+}
+
+void writeLatency(JsonWriter& w, const LatencySummary& s) {
+  w.beginObject();
+  w.key("count").value(s.count);
+  w.key("mean_ms").value(s.meanMs);
+  w.key("p50_ms").value(s.p50Ms);
+  w.key("p90_ms").value(s.p90Ms);
+  w.key("p99_ms").value(s.p99Ms);
+  w.key("p999_ms").value(s.p999Ms);
+  w.key("max_ms").value(s.maxMs);
+  w.endObject();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"requests", "clients", "workers", "queue-capacity",
+                        "cache-capacity", "distinct-instances", "tasks",
+                        "intervals", "deadline-factor", "algo",
+                        "replay-every", "modes", "out"},
+                       "bench_serve_loadgen");
+
+    LoadConfig config;
+    config.requests = static_cast<int>(args.getInt("requests", 1000));
+    config.clients = static_cast<int>(args.getInt("clients", 8));
+    config.distinctInstances =
+        static_cast<int>(args.getInt("distinct-instances", 4));
+    config.tasks = static_cast<int>(args.getInt("tasks", 30));
+    config.intervals = static_cast<int>(args.getInt("intervals", 8));
+    config.deadlineFactor = args.getDouble("deadline-factor", 2.0);
+    config.algo = args.getString("algo", "pressWR-LS");
+    config.replayEvery = static_cast<int>(args.getInt("replay-every", 0));
+    CAWO_REQUIRE(config.requests > 0 && config.clients > 0,
+                 "--requests and --clients must be positive");
+
+    ServeOptions serveOptions;
+    serveOptions.workers =
+        static_cast<unsigned>(args.getInt("workers", 0));
+    serveOptions.queueCapacity =
+        static_cast<std::size_t>(args.getInt("queue-capacity", 256));
+    serveOptions.cacheCapacity =
+        static_cast<std::size_t>(args.getInt("cache-capacity", 16));
+    serveOptions.solverDefaults.setInt("block-size", 3);
+    serveOptions.solverDefaults.setInt("ls-radius", 10);
+
+    const std::vector<std::string> modes =
+        split(args.getString("modes", "inprocess,socket"), ',');
+
+    std::cout << "serve load: " << config.requests << " requests × "
+              << config.clients << " clients, "
+              << config.distinctInstances << " distinct instances ("
+              << config.algo << ", tasks=" << config.tasks << ")\n\n";
+
+    std::vector<ModeOutcome> outcomes;
+    for (const std::string& mode : modes) {
+      // A fresh daemon per mode, so per-mode server stats are comparable.
+      ServeServer server(serveOptions);
+      if (mode == "inprocess") {
+        outcomes.push_back(runInProcess(server, config));
+      } else if (mode == "socket") {
+        outcomes.push_back(runOverSocket(server, config));
+      } else {
+        CAWO_REQUIRE(false, "unknown mode \"" + mode +
+                                "\" (valid: inprocess, socket)");
+      }
+    }
+
+    TextTable table({"mode", "req/s", "ok", "err", "retry", "p50 ms",
+                     "p99 ms", "p99.9 ms", "max ms", "cache hit%"});
+    for (const ModeOutcome& o : outcomes) {
+      const std::int64_t lookups = o.server.cache.hits + o.server.cache.misses;
+      table.addRow(
+          {o.mode, formatFixed(o.throughputRps, 1), std::to_string(o.ok),
+           std::to_string(o.errors), std::to_string(o.retries),
+           formatFixed(o.latency.p50Ms, 3), formatFixed(o.latency.p99Ms, 3),
+           formatFixed(o.latency.p999Ms, 3), formatFixed(o.latency.maxMs, 3),
+           lookups > 0 ? formatFixed(100.0 *
+                                         static_cast<double>(
+                                             o.server.cache.hits) /
+                                         static_cast<double>(lookups),
+                                     1)
+                       : "-"});
+    }
+    table.print(std::cout);
+
+    if (args.has("out")) {
+      const std::string out = args.getString("out", "BENCH_serve.json");
+      std::ofstream file(out);
+      CAWO_REQUIRE(file.good(), "cannot open result file: " + out);
+      JsonWriter w(file);
+      w.beginObject();
+      w.key("schema").value("cawosched-bench-serve-v1");
+      w.key("requests").value(config.requests);
+      w.key("clients").value(config.clients);
+      w.key("workers")
+          .value(static_cast<std::int64_t>(
+              outcomes.empty() ? 0 : outcomes.front().server.workers));
+      w.key("queue_capacity")
+          .value(static_cast<std::int64_t>(serveOptions.queueCapacity));
+      w.key("cache_capacity")
+          .value(static_cast<std::int64_t>(serveOptions.cacheCapacity));
+      w.key("distinct_instances").value(config.distinctInstances);
+      w.key("tasks").value(config.tasks);
+      w.key("intervals").value(config.intervals);
+      w.key("deadline_factor").value(config.deadlineFactor);
+      w.key("algo").value(config.algo);
+      w.key("replay_every").value(config.replayEvery);
+      w.key("records");
+      w.beginArray();
+      for (const ModeOutcome& o : outcomes) {
+        w.compactNext();
+        w.beginObject();
+        w.key("mode").value(o.mode);
+        w.key("ok").value(o.ok);
+        w.key("errors").value(o.errors);
+        w.key("retries").value(o.retries);
+        w.key("wall_s").value(o.wallS);
+        w.key("throughput_rps").value(o.throughputRps);
+        w.key("latency");
+        writeLatency(w, o.latency);
+        w.key("server");
+        w.beginObject();
+        w.key("received").value(o.server.received);
+        w.key("completed").value(o.server.completed);
+        w.key("failed").value(o.server.failed);
+        w.key("rejected_queue_full").value(o.server.rejectedQueueFull);
+        w.key("timeouts").value(o.server.timeouts);
+        w.key("cache_hits").value(o.server.cache.hits);
+        w.key("cache_misses").value(o.server.cache.misses);
+        w.key("cache_evictions").value(o.server.cache.evictions);
+        w.endObject();
+        w.endObject();
+      }
+      w.endArray();
+      w.endObject();
+      file << '\n';
+      CAWO_REQUIRE(file.good(), "failed writing result file: " + out);
+      std::cout << "\n" << outcomes.size() << " mode records written to "
+                << out << "\n";
+    }
+
+    for (const ModeOutcome& o : outcomes)
+      CAWO_REQUIRE(o.errors == 0, o.mode + " run had " +
+                                      std::to_string(o.errors) +
+                                      " error responses");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

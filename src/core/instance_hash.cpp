@@ -1,0 +1,66 @@
+#include "core/instance_hash.hpp"
+
+namespace cawo {
+
+std::uint64_t instanceHash(const EnhancedGraph& gc,
+                           const PowerProfile& profile, Time deadline) {
+  Fnv1aHasher h;
+
+  // Node table: kind (compute task id or comm endpoints), mapping and
+  // duration. A change to any ω(u), any task→processor assignment or the
+  // graph shape lands here.
+  h.mixU64(static_cast<std::uint64_t>(gc.numNodes()));
+  for (TaskId u = 0; u < gc.numNodes(); ++u) {
+    const EnhancedGraph::Node& node = gc.node(u);
+    h.mixI64(node.original);
+    h.mixI64(node.commSrc);
+    h.mixI64(node.commDst);
+    h.mixI64(node.proc);
+    h.mixI64(node.len);
+  }
+
+  // Edge list, in construction order (deterministic for a given builder).
+  h.mixU64(gc.numEdges());
+  for (TaskId u = 0; u < gc.numNodes(); ++u)
+    for (const TaskId v : gc.succs(u)) {
+      h.mixI64(u);
+      h.mixI64(v);
+    }
+
+  // Processor power model and the fixed execution orders (the ordering
+  // part of the mapping: swapping two tasks on one processor changes the
+  // instance even with identical assignments).
+  h.mixU64(static_cast<std::uint64_t>(gc.numProcs()));
+  h.mixU64(static_cast<std::uint64_t>(gc.numRealProcs()));
+  for (ProcId p = 0; p < gc.numProcs(); ++p) {
+    h.mixI64(gc.idlePower(p));
+    h.mixI64(gc.workPower(p));
+    const auto order = gc.procOrder(p);
+    h.mixU64(order.size());
+    for (const TaskId u : order) h.mixI64(u);
+  }
+
+  // Realized power profile — the deterministic expansion of the profile
+  // spec over the instance's horizon.
+  h.mixU64(profile.numIntervals());
+  for (const Interval& interval : profile.intervals()) {
+    h.mixI64(interval.begin);
+    h.mixI64(interval.end);
+    h.mixI64(interval.green);
+  }
+
+  h.mixI64(deadline);
+  return h.value();
+}
+
+std::string instanceHashHex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+} // namespace cawo

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/enhanced_graph.hpp"
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file instance_hash.hpp
+/// A deterministic 64-bit identity for a scheduling instance.
+///
+/// Two surfaces need to recognise "the same instance" cheaply: the serve
+/// daemon's `SolveContext` cache (src/serve) keys cached per-instance
+/// artifacts by it, and campaign records carry it (`instance_hash`) so
+/// result rows from different runs, shards or machines can be joined
+/// without re-deriving the axes. The hash is FNV-1a over a *canonical
+/// byte encoding* of everything that determines a solve's outcome:
+///
+///   * the enhanced graph — node table (kind, mapping, duration ω(u)),
+///     edge list, per-processor idle/work powers and the fixed
+///     per-processor execution orders;
+///   * the power profile — the realized interval list (begin, end, green
+///     budget), i.e. the deterministic expansion of the profile spec;
+///   * the deadline.
+///
+/// The encoding feeds fixed-width integers byte by byte (LSB first) and
+/// length-frames every sequence, so the value is independent of platform
+/// endianness and stable across runs and processes — tests pin exact
+/// values. It is *not* a cryptographic hash; collisions are possible in
+/// principle and the serve cache treats equal hashes as equal instances
+/// (64-bit FNV-1a makes accidental collisions vanishingly unlikely at
+/// cache-sized populations).
+
+namespace cawo {
+
+/// Incremental FNV-1a (64-bit) over a canonical byte stream. The typed
+/// mixers define the one encoding every instance-hash producer shares:
+/// integers little-endian at fixed width, strings length-framed.
+class Fnv1aHasher {
+public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1aHasher& mixByte(std::uint8_t b) {
+    hash_ = (hash_ ^ b) * kPrime;
+    return *this;
+  }
+
+  /// Fixed-width 64-bit value, least-significant byte first.
+  Fnv1aHasher& mixU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mixByte(static_cast<std::uint8_t>(v & 0xFF));
+      v >>= 8;
+    }
+    return *this;
+  }
+
+  Fnv1aHasher& mixI64(std::int64_t v) {
+    return mixU64(static_cast<std::uint64_t>(v));
+  }
+
+  /// Length-framed string: size first, then the raw bytes.
+  Fnv1aHasher& mixString(const std::string& s) {
+    mixU64(s.size());
+    for (const char c : s) mixByte(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// The canonical instance hash: graph structure + durations + mapping +
+/// realized profile + deadline (see file comment). Pure and deterministic —
+/// equal inputs give equal hashes on every platform and run.
+std::uint64_t instanceHash(const EnhancedGraph& gc,
+                           const PowerProfile& profile, Time deadline);
+
+/// The 16-hex-digit spelling used wherever the hash crosses a text surface
+/// (campaign records, the serve wire protocol): lowercase, zero-padded, no
+/// prefix — e.g. "00c0ffee00c0ffee". JSON numbers cannot carry full uint64
+/// precision, strings can.
+std::string instanceHashHex(std::uint64_t hash);
+
+} // namespace cawo

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/carbon_cost.hpp"
+#include "core/instance_hash.hpp"
 #include "core/solve_context.hpp"
 #include "exp/json.hpp"
 #include "online/replay.hpp"
@@ -102,6 +103,8 @@ void runInstanceCell(const Instance& instance,
   request.options = options;
 
   const Cost lowerBound = carbonLowerBound(instance.gc, instance.profile);
+  const std::uint64_t hash =
+      instanceHash(instance.gc, instance.profile, instance.deadline);
 
   const SolverRegistry& registry = SolverRegistry::global();
   for (std::size_t s = 0; s < solvers.size(); ++s) {
@@ -111,6 +114,7 @@ void runInstanceCell(const Instance& instance,
     record.deadline = instance.deadline;
     record.asapMakespanD = instance.asapMakespanD;
     record.numNodes = instance.gc.numNodes();
+    record.instanceHash = hash;
     record.lowerBound = lowerBound;
     record.solver = solvers[s];
     record.ratioVsBaseline = quietNaN();
@@ -165,6 +169,10 @@ void runOnlineInstanceCell(const Instance& instance,
     actual = generateProfile(spec.actual, preq);
   }
   const Cost lowerBound = carbonLowerBound(instance.gc, actual);
+  // The hash is the *planning* instance (forecast profile) — the same
+  // workflow replayed under different actuals joins on one hash.
+  const std::uint64_t hash =
+      instanceHash(instance.gc, instance.profile, instance.deadline);
 
   const SolverRegistry& registry = SolverRegistry::global();
   const std::size_t P = spec.policies.size();
@@ -192,6 +200,7 @@ void runOnlineInstanceCell(const Instance& instance,
       record.deadline = instance.deadline;
       record.asapMakespanD = instance.asapMakespanD;
       record.numNodes = instance.gc.numNodes();
+      record.instanceHash = hash;
       record.lowerBound = lowerBound;
       record.solver = solvers[s];
       record.ratioVsBaseline = quietNaN();
@@ -362,6 +371,9 @@ void writeRecord(JsonWriter& w, const CampaignRecord& r) {
   w.key("deadline").value(static_cast<std::int64_t>(r.deadline));
   w.key("asap_makespan").value(static_cast<std::int64_t>(r.asapMakespanD));
   w.key("num_nodes").value(static_cast<std::int64_t>(r.numNodes));
+  // 16 hex digits, not a JSON number: uint64 does not round-trip through
+  // double-backed JSON parsers.
+  w.key("instance_hash").value(instanceHashHex(r.instanceHash));
   w.key("solver").value(r.solver);
   if (r.skipped) {
     w.key("cost").null();

@@ -34,6 +34,10 @@ struct CampaignRecord {
   Time deadline = 0;        ///< ceil(deadlineFactor · D)
   Time asapMakespanD = 0;   ///< the paper's D
   TaskId numNodes = 0;      ///< enhanced-graph nodes (incl. comm tasks)
+  /// Canonical 64-bit instance hash (core/instance_hash) — written as 16
+  /// hex digits so records for the same built instance can be joined
+  /// across campaigns (and against serve responses) without re-building.
+  std::uint64_t instanceHash = 0;
   Cost lowerBound = 0;      ///< carbonLowerBound of the instance
 
   std::string solver;       ///< registry name as selected

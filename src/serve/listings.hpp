@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file listings.hpp
+/// The one rendering of "what is registered here" shared by every
+/// discovery surface: `cawosched-cli --list-algos` / `--list-scenarios` /
+/// `replay --list-policies` print `text` verbatim, and the serve daemon's
+/// `list` request returns the same `text` (plus the structured `names`)
+/// in its response — one source, so the CLI and the wire can't drift.
+
+namespace cawo {
+
+struct Listing {
+  std::vector<std::string> names; ///< registered names, canonical order
+  std::string text;               ///< the full human listing (table + hint)
+};
+
+/// Every registered solver, with family/exact flags and the selection
+/// grammar hint.
+Listing algoListing();
+
+/// Every registered profile source, with spec syntax and the noise hint.
+Listing scenarioListing();
+
+/// Every registered rescheduling policy, with spec syntax.
+Listing policyListing();
+
+/// The listing for a `list` request's `what` value ("algos", "scenarios"
+/// or "policies"); throws PreconditionError on anything else.
+Listing listingFor(const std::string& what);
+
+} // namespace cawo

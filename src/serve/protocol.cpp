@@ -1,0 +1,285 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "workflow/generators.hpp"
+
+namespace cawo {
+
+namespace {
+
+/// Typed field extraction with structured errors: every mismatch becomes
+/// a "bad_request" naming the offending key, never an exception page.
+[[noreturn]] void badRequest(const std::string& message) {
+  throw ServeError("bad_request", message);
+}
+
+std::string asStringField(const JsonValue& v, const std::string& key) {
+  if (v.kind() != JsonValue::Kind::String)
+    badRequest("\"" + key + "\" must be a string");
+  return v.asString();
+}
+
+std::int64_t asIntField(const JsonValue& v, const std::string& key) {
+  if (!v.isInteger()) badRequest("\"" + key + "\" must be an integer");
+  return v.asInt();
+}
+
+double asNumberField(const JsonValue& v, const std::string& key) {
+  if (v.kind() != JsonValue::Kind::Number)
+    badRequest("\"" + key + "\" must be a number");
+  return v.asDouble();
+}
+
+bool asBoolField(const JsonValue& v, const std::string& key) {
+  if (v.kind() != JsonValue::Kind::Bool)
+    badRequest("\"" + key + "\" must be a boolean");
+  return v.asBool();
+}
+
+/// The "options" object → the solver options bag. Integral numbers stay
+/// integers ("block-size": 3), other numbers become doubles ("alpha":
+/// 0.25), strings pass through verbatim.
+SolverOptions parseOptionsBag(const JsonValue& v) {
+  if (v.kind() != JsonValue::Kind::Object)
+    badRequest("\"options\" must be an object");
+  SolverOptions options;
+  for (const std::string& key : v.objectKeys()) {
+    const JsonValue& entry = v.at(key);
+    switch (entry.kind()) {
+      case JsonValue::Kind::String:
+        options.set(key, entry.asString());
+        break;
+      case JsonValue::Kind::Number:
+        if (entry.isInteger()) options.setInt(key, entry.asInt());
+        else options.setDouble(key, entry.asDouble());
+        break;
+      default:
+        badRequest("\"options." + key + "\" must be a string or number");
+    }
+  }
+  return options;
+}
+
+ServeRequest::Kind kindFromName(const std::string& name) {
+  if (name == "solve") return ServeRequest::Kind::Solve;
+  if (name == "replay") return ServeRequest::Kind::Replay;
+  if (name == "list") return ServeRequest::Kind::List;
+  if (name == "stats") return ServeRequest::Kind::Stats;
+  if (name == "shutdown") return ServeRequest::Kind::Shutdown;
+  throw ServeError("unknown_kind",
+                   "unknown request kind \"" + name +
+                       "\" (valid: solve, replay, list, stats, shutdown)");
+}
+
+bool kindTakesInstance(ServeRequest::Kind kind) {
+  return kind == ServeRequest::Kind::Solve ||
+         kind == ServeRequest::Kind::Replay;
+}
+
+} // namespace
+
+const char* serveKindName(ServeRequest::Kind kind) {
+  switch (kind) {
+    case ServeRequest::Kind::Solve: return "solve";
+    case ServeRequest::Kind::Replay: return "replay";
+    case ServeRequest::Kind::List: return "list";
+    case ServeRequest::Kind::Stats: return "stats";
+    case ServeRequest::Kind::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+ServeRequest RequestParser::parse(const std::string& line) const {
+  // Best-effort envelope recovery for error responses: once the document
+  // parses, the id (and later the kind) is attached to whatever error the
+  // strict pass throws, so clients can still correlate the failure.
+  std::string errorId;
+  std::string errorKind;
+  try {
+    return parseStrict(line, errorId, errorKind);
+  } catch (ServeError& e) {
+    e.attach(errorId, errorKind);
+    throw;
+  }
+}
+
+ServeRequest RequestParser::parseStrict(const std::string& line,
+                                        std::string& errorId,
+                                        std::string& errorKind) const {
+  if (line.size() > maxRequestBytes_)
+    throw ServeError("oversized",
+                     "request line of " + std::to_string(line.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(maxRequestBytes_) + "-byte cap");
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    throw ServeError("parse_error", e.what());
+  }
+  if (doc.kind() != JsonValue::Kind::Object)
+    throw ServeError("parse_error", "request must be a JSON object");
+
+  if (doc.has("id") && doc.at("id").kind() == JsonValue::Kind::String)
+    errorId = doc.at("id").asString();
+
+  // The kind is resolved first so key validation and error responses can
+  // name the right request shape.
+  ServeRequest request;
+  if (doc.has("kind"))
+    request.kind = kindFromName(asStringField(doc.at("kind"), "kind"));
+  else
+    throw ServeError("bad_request", "missing required key \"kind\"");
+  if (doc.has("id")) request.id = asStringField(doc.at("id"), "id");
+
+  const std::string kindName = serveKindName(request.kind);
+  errorKind = kindName;
+  for (const std::string& key : doc.objectKeys()) {
+    const JsonValue& v = doc.at(key);
+    // Envelope keys common to every kind.
+    if (key == "kind" || key == "id") continue;
+    if (key == "schema") {
+      if (asStringField(v, key) != ResponseWriter::kSchema)
+        badRequest("\"schema\" must be \"" +
+                   std::string(ResponseWriter::kSchema) + "\"");
+      continue;
+    }
+    if (key == "timeout_ms") {
+      request.timeoutMs = asIntField(v, key);
+      if (request.timeoutMs < 0) badRequest("\"timeout_ms\" must be >= 0");
+      continue;
+    }
+
+    // Instance axes (solve + replay) — same vocabulary as the CLI flags.
+    if (kindTakesInstance(request.kind)) {
+      if (key == "family") {
+        try {
+          request.spec.family = familyFromName(asStringField(v, key));
+        } catch (const PreconditionError& e) {
+          badRequest(e.what());
+        }
+        continue;
+      }
+      if (key == "tasks") {
+        request.spec.targetTasks = static_cast<int>(asIntField(v, key));
+        if (request.spec.targetTasks < 1) badRequest("\"tasks\" must be >= 1");
+        continue;
+      }
+      if (key == "nodes_per_type") {
+        request.spec.nodesPerType = static_cast<int>(asIntField(v, key));
+        if (request.spec.nodesPerType < 1)
+          badRequest("\"nodes_per_type\" must be >= 1");
+        continue;
+      }
+      if (key == "scenario") {
+        request.spec.scenario = asStringField(v, key);
+        continue;
+      }
+      if (key == "deadline_factor") {
+        request.spec.deadlineFactor = asNumberField(v, key);
+        if (!(request.spec.deadlineFactor >= 1.0))
+          badRequest("\"deadline_factor\" must be >= 1.0");
+        continue;
+      }
+      if (key == "seed") {
+        request.spec.seed = static_cast<std::uint64_t>(asIntField(v, key));
+        continue;
+      }
+      if (key == "intervals") {
+        request.spec.numIntervals = static_cast<int>(asIntField(v, key));
+        if (request.spec.numIntervals < 1)
+          badRequest("\"intervals\" must be >= 1");
+        continue;
+      }
+      if (key == "algo") {
+        request.algo = asStringField(v, key);
+        continue;
+      }
+      if (key == "options") {
+        request.options = parseOptionsBag(v);
+        continue;
+      }
+    }
+    if (request.kind == ServeRequest::Kind::Solve &&
+        key == "return_schedule") {
+      request.returnSchedule = asBoolField(v, key);
+      continue;
+    }
+    if (request.kind == ServeRequest::Kind::Replay) {
+      if (key == "policy") {
+        request.policy = asStringField(v, key);
+        continue;
+      }
+      if (key == "actual") {
+        request.actual = asStringField(v, key);
+        continue;
+      }
+      if (key == "runtime_noise") {
+        request.runtimeNoise = asNumberField(v, key);
+        if (request.runtimeNoise < 0.0 || request.runtimeNoise >= 1.0)
+          badRequest("\"runtime_noise\" must be in [0, 1)");
+        continue;
+      }
+      if (key == "runtime_seed") {
+        request.runtimeSeed = static_cast<std::uint64_t>(asIntField(v, key));
+        continue;
+      }
+    }
+    if (request.kind == ServeRequest::Kind::List && key == "what") {
+      request.what = asStringField(v, key);
+      if (request.what != "algos" && request.what != "scenarios" &&
+          request.what != "policies")
+        badRequest("\"what\" must be \"algos\", \"scenarios\" or "
+                   "\"policies\"");
+      continue;
+    }
+
+    // Mirroring the CLI's unknown-flag policy: a typo'd key must fail
+    // loudly, not silently run a different experiment.
+    badRequest("unknown key \"" + key + "\" for kind \"" + kindName + "\"");
+  }
+
+  return request;
+}
+
+std::string ResponseWriter::ok(
+    const std::function<void(JsonWriter&)>& fillResult) const {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.beginObject();
+  w.key("schema").value(kSchema);
+  w.key("id").value(id_);
+  w.key("kind").value(kind_);
+  w.key("ok").value(true);
+  w.key("error").value("");
+  w.key("result");
+  w.beginObject();
+  if (fillResult) fillResult(w);
+  w.endObject();
+  w.endObject();
+  return out.str();
+}
+
+std::string ResponseWriter::error(const std::string& code,
+                                  const std::string& message) const {
+  CAWO_ASSERT(!code.empty(), "serve error responses need a nonzero code");
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.beginObject();
+  w.key("schema").value(kSchema);
+  w.key("id").value(id_);
+  w.key("kind").value(kind_);
+  w.key("ok").value(false);
+  w.key("error").value(code);
+  w.key("message").value(message);
+  w.key("result");
+  w.null();
+  w.endObject();
+  return out.str();
+}
+
+} // namespace cawo

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "exp/json.hpp"
+#include "sim/instance.hpp"
+#include "solver/solver.hpp"
+
+/// \file protocol.hpp
+/// The `cawosched-serve-v1` wire layer (see docs/formats.md, "Serve wire
+/// protocol").
+///
+/// The daemon speaks newline-delimited JSON: one request object per line
+/// in, one response object per line out, over stdin/stdout and/or a local
+/// TCP socket — the same bytes either way. `RequestParser` turns a raw
+/// line into a typed `ServeRequest` (rejecting oversized, malformed,
+/// unknown-kind and unknown-key input with a structured `ServeError`),
+/// `ResponseWriter` produces the single-line response documents. Both
+/// reuse `exp/json`, so number formatting and escaping match every other
+/// machine-readable surface of the repository.
+///
+/// Responses are correlated by the client-chosen `id` (echoed verbatim) —
+/// the daemon answers out of order when a later request finishes first.
+
+namespace cawo {
+
+/// Structured protocol failure: a stable machine-readable `code` (the
+/// response's `error` field — never empty) plus a human message. The
+/// parser attaches the request's `id`/`kind` when it got far enough to
+/// know them, so even error responses correlate.
+class ServeError : public std::runtime_error {
+public:
+  ServeError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+
+  const std::string& code() const { return code_; }
+
+  void attach(std::string id, std::string kind) {
+    id_ = std::move(id);
+    kind_ = std::move(kind);
+  }
+  const std::string& requestId() const { return id_; }
+  /// "" when the failure happened before the kind was known.
+  const std::string& requestKind() const { return kind_; }
+
+private:
+  std::string code_;
+  std::string id_;
+  std::string kind_;
+};
+
+/// One parsed request. Defaults mirror the CLI surfaces: an empty
+/// `{"kind":"solve"}` solves the CLI's default instance with the paper's
+/// strongest variant.
+struct ServeRequest {
+  enum class Kind { Solve, Replay, List, Stats, Shutdown };
+
+  Kind kind = Kind::Solve;
+  std::string id;              ///< echoed verbatim; "" when absent
+  std::int64_t timeoutMs = 0;  ///< per-request deadline; 0 = none
+
+  // solve + replay: the instance axes (same meaning as `cawosched-cli`).
+  InstanceSpec spec;
+  std::string algo = "pressWR-LS";
+  SolverOptions options;       ///< "options" object: block-size, alpha, …
+  bool returnSchedule = false; ///< solve: include per-node start times
+
+  // replay only.
+  std::string policy = "static";
+  std::string actual;          ///< actual-profile spec; "" = noise pair
+  double runtimeNoise = 0.0;
+  std::uint64_t runtimeSeed = 1;
+
+  // list only: "algos" | "scenarios" | "policies".
+  std::string what = "algos";
+};
+
+const char* serveKindName(ServeRequest::Kind kind);
+
+/// Parses `cawosched-serve-v1` request lines. Stateless; one instance can
+/// serve every connection.
+class RequestParser {
+public:
+  /// Byte cap on one request line; longer input is rejected with code
+  /// "oversized" *before* parsing (a malicious line must not balloon the
+  /// parser).
+  explicit RequestParser(std::size_t maxRequestBytes = 1 << 20)
+      : maxRequestBytes_(maxRequestBytes) {}
+
+  /// Parse one raw line into a typed request. Throws `ServeError` with
+  /// code "oversized", "parse_error", "unknown_kind" or "bad_request"
+  /// (unknown keys, wrong value types, out-of-range axes). Never crashes
+  /// on hostile input.
+  ServeRequest parse(const std::string& line) const;
+
+private:
+  ServeRequest parseStrict(const std::string& line, std::string& errorId,
+                           std::string& errorKind) const;
+
+  std::size_t maxRequestBytes_;
+};
+
+/// Builds the single-line response documents. One writer per request —
+/// it pins the envelope (schema, echoed id, kind, ok, error) so every
+/// response, success or failure, has the same shape.
+class ResponseWriter {
+public:
+  ResponseWriter(std::string id, std::string kind)
+      : id_(std::move(id)), kind_(std::move(kind)) {}
+
+  /// A success response; `fillResult` writes the members of the `result`
+  /// object (may be empty).
+  std::string ok(const std::function<void(JsonWriter&)>& fillResult) const;
+
+  /// A failure response: `error` carries the machine-readable code,
+  /// `message` the human detail, `result` is null.
+  std::string error(const std::string& code,
+                    const std::string& message) const;
+
+  static constexpr const char* kSchema = "cawosched-serve-v1";
+
+private:
+  std::string id_;
+  std::string kind_;
+};
+
+} // namespace cawo

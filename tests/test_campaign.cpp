@@ -471,8 +471,8 @@ TEST(CampaignJson, RecordSchemaIsStable) {
       "instance",      "family",        "tasks",
       "nodes_per_type", "scenario",     "deadline_factor",
       "seed",          "intervals",     "deadline",
-      "asap_makespan", "num_nodes",     "solver",
-      "cost",          "wall_ms",       "lower_bound",
+      "asap_makespan", "num_nodes",     "instance_hash",
+      "solver",        "cost",          "wall_ms",       "lower_bound",
       "baseline_cost", "ratio_vs_baseline", "feasible",
       "proved_optimal", "skipped",      "greedy_ms",
       "ls_ms",         "ls_rounds",     "ls_moves",

@@ -1,0 +1,108 @@
+// Pins the canonical instance hash (core/instance_hash): stability of the
+// FNV-1a primitives against hand-computed references, determinism across
+// independent rebuilds of the same spec, and sensitivity — near-identical
+// instances differing in exactly one axis (one duration, one profile
+// interval, the deadline, the seed) must hash differently. The serve
+// cache and campaign-record joins both rely on precisely these
+// properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/instance_hash.hpp"
+#include "sim/instance.hpp"
+
+namespace cawo {
+namespace {
+
+InstanceSpec smallSpec() {
+  InstanceSpec spec;
+  spec.family = WorkflowFamily::Atacseq;
+  spec.targetTasks = 30;
+  spec.nodesPerType = 2;
+  spec.scenario = "S1";
+  spec.deadlineFactor = 2.0;
+  spec.numIntervals = 8;
+  spec.seed = 1;
+  return spec;
+}
+
+TEST(Fnv1aHasher, MatchesKnownFnv1aValues) {
+  // Classic FNV-1a reference values: the offset basis for the empty
+  // input, and the published hash of "a".
+  EXPECT_EQ(Fnv1aHasher().value(), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1aHasher().mixByte('a').value(), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1aHasher, TypedMixersAreCanonical) {
+  // mixU64 is defined as eight mixByte calls, LSB first — the encoding
+  // the file contract promises. Pin the equivalence so a future
+  // "optimisation" cannot silently change every stored hash.
+  Fnv1aHasher viaU64;
+  viaU64.mixU64(0x0123456789abcdefULL);
+  Fnv1aHasher viaBytes;
+  for (const std::uint8_t b :
+       {0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01})
+    viaBytes.mixByte(b);
+  EXPECT_EQ(viaU64.value(), viaBytes.value());
+
+  // Length framing makes ("ab", "c") and ("a", "bc") distinct streams.
+  const auto two = [](const std::string& x, const std::string& y) {
+    return Fnv1aHasher().mixString(x).mixString(y).value();
+  };
+  EXPECT_NE(two("ab", "c"), two("a", "bc"));
+}
+
+TEST(InstanceHash, StableAcrossIndependentBuilds) {
+  const Instance a = buildInstance(smallSpec());
+  const Instance b = buildInstance(smallSpec());
+  const std::uint64_t ha = instanceHash(a.gc, a.profile, a.deadline);
+  const std::uint64_t hb = instanceHash(b.gc, b.profile, b.deadline);
+  EXPECT_EQ(ha, hb) << "two builds of the same spec must hash identically";
+  // And recomputing on the same objects is pure.
+  EXPECT_EQ(ha, instanceHash(a.gc, a.profile, a.deadline));
+}
+
+TEST(InstanceHash, DistinguishesNearIdenticalInstances) {
+  const InstanceSpec base = smallSpec();
+  const Instance reference = buildInstance(base);
+  const std::uint64_t referenceHash =
+      instanceHash(reference.gc, reference.profile, reference.deadline);
+
+  // One axis nudged at a time; every variant must land elsewhere.
+  std::set<std::uint64_t> seen{referenceHash};
+  for (const auto& mutate : {
+           +[](InstanceSpec& s) { s.targetTasks = 31; },
+           +[](InstanceSpec& s) { s.scenario = "S2"; },
+           +[](InstanceSpec& s) { s.deadlineFactor = 2.5; },
+           +[](InstanceSpec& s) { s.numIntervals = 9; },
+           +[](InstanceSpec& s) { s.seed = 2; },
+           +[](InstanceSpec& s) { s.nodesPerType = 3; },
+       }) {
+    InstanceSpec spec = base;
+    mutate(spec);
+    const Instance variant = buildInstance(spec);
+    const std::uint64_t h =
+        instanceHash(variant.gc, variant.profile, variant.deadline);
+    EXPECT_TRUE(seen.insert(h).second)
+        << "variant " << variant.spec.label() << " (seed " << spec.seed
+        << ", intervals " << spec.numIntervals
+        << ") collided with another near-identical instance";
+  }
+
+  // The deadline participates directly too — same graph and profile,
+  // deadline off by one.
+  EXPECT_NE(referenceHash, instanceHash(reference.gc, reference.profile,
+                                        reference.deadline + 1));
+}
+
+TEST(InstanceHashHex, SixteenLowercaseZeroPaddedDigits) {
+  EXPECT_EQ(instanceHashHex(0), "0000000000000000");
+  EXPECT_EQ(instanceHashHex(0xABCULL), "0000000000000abc");
+  EXPECT_EQ(instanceHashHex(0xDEADBEEFCAFEF00DULL), "deadbeefcafef00d");
+  EXPECT_EQ(instanceHashHex(~0ULL), "ffffffffffffffff");
+}
+
+} // namespace
+} // namespace cawo

@@ -1,0 +1,167 @@
+// Pins the documented edge-case behaviour of util/parallel.hpp:
+// `parallelFor` (n == 0, threads == 0, threads > n, exception
+// propagation) and the serve daemon's `WorkerPool` (bounded admission,
+// backpressure, drain, escaped-exception capture, idempotent stop).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace cawo {
+namespace {
+
+/// A manual gate jobs can block on, so tests control exactly when a
+/// worker is "busy".
+class Gate {
+public:
+  void open() {
+    {
+      const std::scoped_lock lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ParallelFor, ZeroJobsNeverInvokesTheFunction) {
+  std::atomic<int> calls{0};
+  parallelFor(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, ZeroThreadsClampsToHardwareAndRunsEverything) {
+  std::atomic<int> calls{0};
+  std::mutex mutex;
+  std::set<std::size_t> indices;
+  parallelFor(17, 0, [&](std::size_t i) {
+    ++calls;
+    const std::scoped_lock lock(mutex);
+    indices.insert(i);
+  });
+  EXPECT_EQ(calls.load(), 17);
+  EXPECT_EQ(indices.size(), 17u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 16u);
+}
+
+TEST(ParallelFor, MoreThreadsThanJobsStillRunsEachIndexOnce) {
+  std::vector<std::atomic<int>> counts(3);
+  parallelFor(3, 64, [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAndStopsFurtherJobs) {
+  std::atomic<int> started{0};
+  try {
+    parallelFor(1000, 2, [&](std::size_t i) {
+      ++started;
+      if (i == 0) throw std::runtime_error("job 0 failed");
+      // Give the failing job time to set the failure flag so the pool
+      // demonstrably stops early instead of racing through all 1000.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    FAIL() << "exception must propagate to the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 0 failed");
+  }
+  EXPECT_LT(started.load(), 1000) << "no further jobs after a failure";
+}
+
+TEST(ParallelFor, SingleWorkerRunsInlineAndInOrder) {
+  std::vector<std::size_t> order;
+  parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, RunsSubmittedJobsAndDrains) {
+  WorkerPool pool(2, 16);
+  EXPECT_EQ(pool.threads(), 2u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(pool.trySubmit([&done] { ++done; }));
+  pool.drain();
+  EXPECT_EQ(done.load(), 10);
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  EXPECT_EQ(pool.busy(), 0u);
+}
+
+TEST(WorkerPool, BoundedQueueRejectsWhenFull) {
+  // One worker, capacity 2. Block the worker, fill the queue, and the
+  // next submission must bounce.
+  WorkerPool pool(1, 2);
+  Gate gate;
+  ASSERT_TRUE(pool.trySubmit([&gate] { gate.wait(); })); // occupies worker
+  // Wait until the blocker is actually running so the queue is empty.
+  while (pool.busy() == 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.trySubmit([] {}));
+  ASSERT_TRUE(pool.trySubmit([] {}));
+  EXPECT_EQ(pool.queueDepth(), 2u);
+  EXPECT_FALSE(pool.trySubmit([] {})) << "capacity 2 must reject job 3";
+  gate.open();
+  pool.drain();
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  // Capacity frees up after the drain.
+  EXPECT_TRUE(pool.trySubmit([] {}));
+  pool.drain();
+}
+
+TEST(WorkerPool, EscapedExceptionIsCapturedAndPoolSurvives) {
+  WorkerPool pool(1, 8);
+  ASSERT_TRUE(
+      pool.trySubmit([] { throw std::runtime_error("poisoned job"); }));
+  pool.drain();
+  const std::exception_ptr error = pool.firstError();
+  ASSERT_TRUE(error);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poisoned job");
+  }
+  // The pool keeps serving after a poisoned job.
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.trySubmit([&ran] { ran = true; }));
+  pool.drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPool, StopFinishesQueuedJobsAndRejectsNewOnes) {
+  WorkerPool pool(1, 8);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(pool.trySubmit([&done] { ++done; }));
+  pool.stop();
+  EXPECT_EQ(done.load(), 5) << "stop() drains the queue before joining";
+  EXPECT_FALSE(pool.trySubmit([&done] { ++done; }));
+  pool.stop(); // idempotent
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(WorkerPool, ZeroThreadsClampsToAtLeastOne) {
+  WorkerPool pool(0, 4);
+  EXPECT_GE(pool.threads(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.trySubmit([&ran] { ran = true; }));
+  pool.drain();
+  EXPECT_TRUE(ran.load());
+}
+
+} // namespace
+} // namespace cawo

@@ -20,6 +20,10 @@
 //                 [--forecast=SPEC] [--actual=SPEC] [--policy=SPEC,...]
 //                 [--algo=NAME] [--runtime-noise=A] [--runtime-seed=N]
 //                 [--out=replay.json]
+//   cawosched-cli serve [--port=N] [--workers=N] [--queue-capacity=64]
+//                 [--cache-capacity=16] [--default-timeout-ms=0]
+//                 [--max-request-bytes=B] [--block-size=3]
+//                 [--ls-radius=10] [--quiet]
 //
 // The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
 // is built, and every selected solver runs against the profile. Without
@@ -55,6 +59,9 @@
 #include "online/result_json.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profile_source.hpp"
+#include "serve/listings.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "sim/table.hpp"
 #include "solver/registry.hpp"
 #include "util/cli.hpp"
@@ -143,17 +150,11 @@ int runCampaignCommand(int argc, const char* const* argv) {
   return 0;
 }
 
+// The three discovery listings print the shared serve/listings rendering,
+// so the CLI output and the serve daemon's `list` responses are the same
+// bytes by construction.
 int listPolicies() {
-  const ReschedulePolicyRegistry& registry = ReschedulePolicyRegistry::global();
-  TextTable table({"policy", "spec syntax", "description"});
-  for (const std::string& name : registry.names()) {
-    const PolicyInfo& meta = registry.info(name);
-    table.addRow({meta.name, meta.syntax, meta.description});
-  }
-  table.print(std::cout);
-  std::cout << "\npass one or more specs via --policy "
-               "(e.g. --policy=static,periodic:every=4,"
-               "reactive:threshold=0.15).\n";
+  std::cout << policyListing().text;
   return 0;
 }
 
@@ -287,32 +288,91 @@ int runReplayCommand(int argc, const char* const* argv) {
 }
 
 int listAlgos() {
-  const SolverRegistry& registry = SolverRegistry::global();
-  TextTable table({"name", "family", "exact", "description"});
-  for (const std::string& name : registry.names()) {
-    const SolverInfo meta = registry.create(name)->info();
-    table.addRow({meta.name, meta.family, meta.exact ? "yes" : "no",
-                  meta.description});
-  }
-  table.print(std::cout);
-  std::cout << "\nselect with --algo=<name>, a glob (\"press*\"), a comma "
-               "list, or \"all\";\nparameterised forms like "
-               "\"greenheft[0.25]\" set the alpha inline.\n";
+  std::cout << algoListing().text;
   return 0;
 }
 
 int listScenarios() {
-  const ProfileSourceRegistry& registry = ProfileSourceRegistry::global();
-  TextTable table({"source", "spec syntax", "description"});
-  for (const std::string& name : registry.names()) {
-    const ProfileSourceInfo& meta = registry.info(name);
-    table.addRow({meta.name, meta.syntax, meta.description});
+  std::cout << scenarioListing().text;
+  return 0;
+}
+
+/// `cawosched-cli serve ...` — the scheduler-as-a-service daemon: speak
+/// `cawosched-serve-v1` newline-delimited JSON over stdin/stdout and,
+/// with --port, a loopback TCP socket too. `argv` starts after the
+/// subcommand word. See docs/cli.md for a walkthrough.
+int runServeCommand(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"help", "port", "workers", "queue-capacity",
+                      "cache-capacity", "default-timeout-ms",
+                      "max-request-bytes", "block-size", "ls-radius",
+                      "quiet"},
+                     "cawosched-cli serve");
+  if (args.has("help")) {
+    std::cout
+        << "usage: cawosched-cli serve [--port=N] [--workers=N]\n"
+           "  [--queue-capacity=64] [--cache-capacity=16] "
+           "[--default-timeout-ms=0]\n"
+           "  [--max-request-bytes=1048576] [--block-size=3] "
+           "[--ls-radius=10] [--quiet]\n"
+           "Long-running scheduler daemon: one JSON request per line on "
+           "stdin, one JSON\nresponse per line on stdout "
+           "(cawosched-serve-v1 — kinds: solve, replay, list,\nstats, "
+           "shutdown; see docs/formats.md). With --port the same protocol "
+           "is also\nserved on 127.0.0.1:N (0 = ephemeral; the bound port "
+           "is announced on stderr).\nThe daemon exits on a shutdown "
+           "request, or on stdin EOF when no --port is\ngiven. Repeated "
+           "instances hit an LRU SolveContext cache (watch the `stats`\n"
+           "request's cache_hits). Diagnostics go to stderr; stdout "
+           "carries protocol\nbytes only.\n";
+    return 0;
   }
-  table.print(std::cout);
-  std::cout << "\npass any spec via --scenario (single run) or "
-               "--scenarios (campaign axis);\nappend "
-               "\"+noise=A[,seed=N]\" for multiplicative forecast error. "
-               "Grammar: docs/formats.md.\n";
+
+  ServeOptions options;
+  options.workers = static_cast<unsigned>(args.getInt("workers", 0));
+  options.queueCapacity =
+      static_cast<std::size_t>(args.getInt("queue-capacity", 64));
+  options.cacheCapacity =
+      static_cast<std::size_t>(args.getInt("cache-capacity", 16));
+  options.defaultTimeoutMs = args.getInt("default-timeout-ms", 0);
+  options.maxRequestBytes =
+      static_cast<std::size_t>(args.getInt("max-request-bytes", 1 << 20));
+  options.solverDefaults.setInt("block-size", args.getInt("block-size", 3));
+  options.solverDefaults.setInt("ls-radius", args.getInt("ls-radius", 10));
+
+  ServeServer server(options);
+  std::unique_ptr<TcpServeListener> listener;
+  if (args.has("port"))
+    listener = std::make_unique<TcpServeListener>(
+        server, static_cast<std::uint16_t>(args.getInt("port", 0)));
+
+  // Everything human goes to stderr — stdout is protocol bytes only.
+  if (!args.has("quiet")) {
+    std::cerr << "cawosched-serve: " << server.stats().workers
+              << " workers, queue capacity " << options.queueCapacity
+              << ", context cache " << options.cacheCapacity << "\n";
+    if (listener)
+      std::cerr << "cawosched-serve: listening on 127.0.0.1:"
+                << listener->port() << "\n";
+    std::cerr << "cawosched-serve: ready\n";
+  }
+
+  runStdioServe(server, std::cin, std::cout);
+  // stdin is done. With a socket the daemon lives until a shutdown
+  // request arrives (from either transport); stdio-only EOF means done.
+  if (listener) server.waitUntilStopping();
+  server.requestStop();
+  server.drain();
+  if (listener) listener->stop();
+
+  if (!args.has("quiet")) {
+    const ServeStats s = server.stats();
+    std::cerr << "cawosched-serve: exiting — " << s.received
+              << " requests, " << s.completed << " completed, " << s.failed
+              << " failed, " << s.rejectedQueueFull << " rejected, "
+              << s.timeouts << " timed out (cache: " << s.cache.hits
+              << " hits / " << s.cache.misses << " misses)\n";
+  }
   return 0;
 }
 
@@ -333,6 +393,14 @@ int main(int argc, char** argv) {
       return runCampaignCommand(argc - 1, argv + 1);
     if (argc > 1 && std::string(argv[1]) == "replay")
       return runReplayCommand(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "serve")
+      return runServeCommand(argc - 1, argv + 1);
+    if (argc > 1 && argv[1][0] != '-') {
+      std::cerr << "error: unknown subcommand \"" << argv[1]
+                << "\" for cawosched-cli (valid: campaign, replay, "
+                   "serve)\n";
+      return 2;
+    }
 
     const CliArgs args(
         argc, argv,
@@ -362,6 +430,10 @@ int main(int argc, char** argv) {
              "  replay    online forecast-vs-actual execution replay "
              "(see replay --help,\n"
              "            replay --list-policies)\n"
+             "  serve     long-running scheduler daemon speaking "
+             "newline-delimited JSON\n"
+             "            over stdin/stdout and a local socket "
+             "(see serve --help)\n"
              "SPEC is any registered profile source, e.g. S1, duck, "
              "sine:period=24,amp=0.5,\ntrace:grid.csv,repeat=1 — see "
              "--list-scenarios.\n";
