@@ -121,6 +121,53 @@ void BM_GreedySched(benchmark::State& state) {
 BENCHMARK(BM_GreedySched)->Arg(100)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+// -----------------------------------------------------------------------
+// Parallel solve core (see DESIGN.md, "Parallel solve core"). Both
+// kernels produce bit-identical schedules at every thread count — the
+// benchmark measures only how fast the same bytes arrive. Threads sweep
+// {1, 4, hardware}; on single-core boxes the three rows coincide, which
+// is itself the interesting datum (no overhead when there is nothing to
+// win). The speedup table lives in bench/README.md.
+// -----------------------------------------------------------------------
+
+// All 16 variants batched over one shared context — the CLI multi-solver
+// and serve suite path. Shared prefix work (windows, score orders,
+// refined intervals) is primed once inside runVariants; the fan-out is
+// across variants.
+void BM_GreedySchedPar(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const SolveContext ctx(inst.gc, inst.profile, inst.deadline);
+  const std::vector<VariantSpec> variants = greedyOnlyVariants();
+  const auto threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runVariants(ctx, variants, {}, threads));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedySchedPar)
+    ->ArgsProduct({{1000, 5000}, {1, 4, 0 /* 0 = hardware */}})
+    ->Unit(benchmark::kMillisecond);
+
+// Best-of-8 multi-start local search; restart 0 is the unperturbed climb,
+// restarts 1..7 run on independent RNG streams, the merge is by (cost,
+// restart index).
+void BM_LocalSearchRestarts(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  GreedyOptions gopts{BaseScore::Pressure, true, true, 3};
+  const Schedule base =
+      scheduleGreedy(inst.gc, inst.profile, inst.deadline, gopts);
+  LocalSearchOptions opts;
+  opts.restarts = 8;
+  opts.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    Schedule s = base;
+    localSearchRestarts(inst.gc, inst.profile, inst.deadline, s, opts);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LocalSearchRestarts)
+    ->ArgsProduct({{200, 1000}, {1, 4, 0 /* 0 = hardware */}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Heft(benchmark::State& state) {
   WorkflowGenOptions opts;
   opts.targetTasks = static_cast<int>(state.range(0));

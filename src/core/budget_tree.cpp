@@ -1,129 +1,194 @@
 #include "core/budget_tree.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace cawo {
 
-/// Treap node. `maxBudget` aggregates the subtree *including* pending lazy
-/// additions of descendants but excluding this node's own `lazy` (which is
-/// owed to the whole subtree by the parent chain).
+/// Treap node, stored by index in a contiguous arena (`Impl::pool`) instead
+/// of heap-allocated with pointers: segment queries walk O(log S) nodes per
+/// placement, and with millions of refined subintervals the walk is memory
+/// bound — int32 links into one flat vector keep it on a handful of cache
+/// lines instead of chasing malloc'd pointers all over the heap.
+///
+/// `maxBudget` aggregates the subtree *including* pending lazy additions of
+/// descendants but excluding this node's own `lazy` (which is owed to the
+/// whole subtree by the parent chain).
 struct BudgetTree::Node {
   Time key;        // segment begin
   Power budget;    // own budget (lazy of ancestors not yet applied)
-  Power maxBudget; // max over subtree (own lazy applied by pushDown)
+  Power maxBudget; // max over subtree (own lazy applied by the parent chain)
   Power lazy = 0;  // pending addition for the whole subtree
   std::uint64_t prio;
-  Node* left = nullptr;
-  Node* right = nullptr;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
 
   Node(Time k, Power b, std::uint64_t p)
       : key(k), budget(b), maxBudget(b), prio(p) {}
 };
 
+namespace {
+constexpr std::int32_t kNil = -1;
+constexpr Power kMinPower = std::numeric_limits<Power>::min();
+/// Largest horizon for which the boundary-presence bitmap is kept
+/// (512 KiB of bits); beyond it `splitAt` simply always descends.
+constexpr Time kBoundaryBitmapLimit = Time(1) << 22;
+} // namespace
+
 struct BudgetTree::Impl {
-  Node* root = nullptr;
+  std::vector<Node> pool; ///< bump arena: nodes are appended, never freed
+  std::int32_t root = kNil;
+  std::vector<std::int32_t> pathScratch; ///< splitAt descent path, reused
+  /// Boundary-presence bitmap over the horizon (only kept for horizons up
+  /// to kBoundaryBitmapLimit): most `splitAt` calls hit an existing
+  /// boundary, and a one-bit test is far cheaper than the O(log S) descent
+  /// that would discover the same thing.
+  std::vector<std::uint64_t> boundaryBits;
   Rng rng;
-  std::size_t count = 0;
 
   explicit Impl(std::uint64_t seed) : rng(seed) {}
 
-  ~Impl() { destroy(root); }
-
-  static void destroy(Node* n) {
-    if (n == nullptr) return;
-    destroy(n->left);
-    destroy(n->right);
-    delete n;
+  Node& at(std::int32_t i) { return pool[static_cast<std::size_t>(i)]; }
+  const Node& at(std::int32_t i) const {
+    return pool[static_cast<std::size_t>(i)];
   }
 
-  static Power maxOf(Node* n) {
-    return n != nullptr ? n->maxBudget + n->lazy
-                        : std::numeric_limits<Power>::min();
+  /// Effective maximum of a subtree as seen by its parent (own lazy
+  /// applied, ancestor lazy not).
+  Power maxOf(std::int32_t i) const {
+    return i != kNil ? at(i).maxBudget + at(i).lazy : kMinPower;
   }
 
-  static void pull(Node* n) {
-    n->maxBudget = std::max({n->budget, maxOf(n->left), maxOf(n->right)});
+  void pull(std::int32_t i) {
+    Node& n = at(i);
+    n.maxBudget = std::max({n.budget, maxOf(n.left), maxOf(n.right)});
   }
 
-  static void push(Node* n) {
-    if (n->lazy == 0) return;
-    n->budget += n->lazy;
-    n->maxBudget += n->lazy;
-    if (n->left != nullptr) n->left->lazy += n->lazy;
-    if (n->right != nullptr) n->right->lazy += n->lazy;
-    n->lazy = 0;
+  void push(std::int32_t i) {
+    Node& n = at(i);
+    if (n.lazy == 0) return;
+    n.budget += n.lazy;
+    n.maxBudget += n.lazy;
+    if (n.left != kNil) at(n.left).lazy += n.lazy;
+    if (n.right != kNil) at(n.right).lazy += n.lazy;
+    n.lazy = 0;
   }
 
-  /// Split into keys < key (lo) and keys >= key (hi).
-  static void split(Node* n, Time key, Node*& lo, Node*& hi) {
-    if (n == nullptr) {
-      lo = hi = nullptr;
-      return;
-    }
-    push(n);
-    if (n->key < key) {
-      split(n->right, key, n->right, hi);
-      lo = n;
-      pull(lo);
-    } else {
-      split(n->left, key, lo, n->left);
-      hi = n;
-      pull(hi);
-    }
-  }
-
-  static Node* merge(Node* a, Node* b) {
-    if (a == nullptr) return b;
-    if (b == nullptr) return a;
-    if (a->prio > b->prio) {
-      push(a);
-      a->right = merge(a->right, b);
-      pull(a);
-      return a;
-    }
-    push(b);
-    b->left = merge(a, b->left);
-    pull(b);
-    return b;
-  }
-
-  /// Largest key <= t, with its (lazy-adjusted) budget.
-  Node* floorNode(Time t, Power& budgetOut) const {
-    Node* n = root;
-    Node* best = nullptr;
+  /// Largest key <= t, with its (lazy-adjusted) budget. Read-only.
+  std::int32_t floorNode(Time t, Power& budgetOut) const {
+    std::int32_t i = root;
+    std::int32_t best = kNil;
     Power acc = 0;
     Power bestBudget = 0;
-    while (n != nullptr) {
-      acc += n->lazy;
-      if (n->key <= t) {
-        best = n;
-        bestBudget = n->budget + acc;
-        n = n->right;
+    while (i != kNil) {
+      const Node& n = at(i);
+      acc += n.lazy;
+      if (n.key <= t) {
+        best = i;
+        bestBudget = n.budget + acc;
+        i = n.right;
       } else {
-        n = n->left;
+        i = n.left;
       }
     }
     budgetOut = bestBudget;
     return best;
   }
 
-  /// Earliest node with maximum budget in subtree (after push-downs).
-  static void argmaxEarliest(Node* n, Power target, bool& done, Time& key) {
-    if (n == nullptr || done) return;
-    push(n);
-    if (maxOf(n->left) == target) {
-      argmaxEarliest(n->left, target, done, key);
-      if (done) return;
+  /// (max effective budget, earliest key achieving it) over keys in
+  /// [lo, hi] — one read-only top-down descent. (klo, khi) are the
+  /// inclusive key bounds implied by the BST path, so fully covered
+  /// subtrees still need their earliest argmax resolved, which
+  /// `argmaxInSubtree` does by chasing `maxBudget` down, left first.
+  /// `acc` carries the ancestors' unapplied lazy. The reduce is
+  /// order-preserving: an in-order scan with a strictly-greater update,
+  /// so ties always resolve to the earliest segment no matter how the
+  /// subtree visits interleave.
+  /// Result of `rangeBest`: when the final maximum came from a fully
+  /// covered subtree, the earliest witness inside it is not yet resolved —
+  /// `subtree`/`subAcc` defer that to a single `argmaxInSubtree` descent
+  /// after the scan (instead of one per improvement).
+  struct RangeBest {
+    Power budget = kMinPower;
+    Time key = 0;
+    std::int32_t subtree = kNil;
+    Power subAcc = 0;
+  };
+
+  void argmaxInSubtree(std::int32_t i, Power acc, Power target,
+                       Time& out) const {
+    for (;;) {
+      const Node& n = at(i);
+      acc += n.lazy;
+      if (n.left != kNil && at(n.left).maxBudget + at(n.left).lazy + acc ==
+                                target) {
+        i = n.left;
+        continue;
+      }
+      if (n.budget + acc == target) {
+        out = n.key;
+        return;
+      }
+      CAWO_ASSERT(n.right != kNil, "subtree max not found");
+      i = n.right;
     }
-    if (n->budget == target) {
-      key = n->key;
-      done = true;
+  }
+
+  void rangeBest(std::int32_t i, Time lo, Time hi, Power acc, Time klo,
+                 Time khi, RangeBest& best) const {
+    if (i == kNil || lo > khi || hi < klo) return;
+    const Node& n = at(i);
+    acc += n.lazy;
+    if (lo <= klo && khi <= hi) {
+      // Fully covered: the subtree aggregate answers the max. The reduce
+      // is order-preserving — an in-order scan with a strictly-greater
+      // update — so ties always resolve to the earliest candidate no
+      // matter how the visits nest; the earliest witness *within* the
+      // winning subtree is resolved once, after the scan.
+      const Power subMax = n.maxBudget + acc;
+      if (subMax > best.budget) {
+        best.budget = subMax;
+        best.subtree = i;
+        best.subAcc = acc - n.lazy;
+      }
       return;
     }
-    argmaxEarliest(n->right, target, done, key);
+    if (lo < n.key) rangeBest(n.left, lo, hi, acc, klo, n.key - 1, best);
+    if (n.key >= lo && n.key <= hi && n.budget + acc > best.budget) {
+      best.budget = n.budget + acc;
+      best.key = n.key;
+      best.subtree = kNil;
+    }
+    if (hi > n.key) rangeBest(n.right, lo, hi, acc, n.key + 1, khi, best);
+  }
+
+  /// Add `delta` to every key in [lo, hi] — top-down with implied key
+  /// bounds, marking fully covered subtrees lazily. The structure is not
+  /// modified, only values, so iterators/indices stay stable.
+  void addRange(std::int32_t i, Time lo, Time hi, Power delta, Time klo,
+                Time khi) {
+    if (i == kNil || lo > khi || hi < klo) return;
+    if (lo <= klo && khi <= hi) {
+      at(i).lazy += delta;
+      return;
+    }
+    Node& n = at(i);
+    if (n.key >= lo && n.key <= hi) n.budget += delta;
+    const Time key = n.key;
+    addRange(n.left, lo, hi, delta, klo, key - 1);
+    addRange(n.right, lo, hi, delta, key + 1, khi);
+    pull(i);
+  }
+
+  /// Restore `maxBudget` bottom-up after the linear-time build.
+  void pullAll(std::int32_t i) {
+    if (i == kNil) return;
+    pullAll(at(i).left);
+    pullAll(at(i).right);
+    pull(i);
   }
 };
 
@@ -137,12 +202,35 @@ BudgetTree::BudgetTree(std::vector<Time> begins, std::vector<Power> budgets,
     CAWO_REQUIRE(begins[i] > begins[i - 1], "begins must be increasing");
   CAWO_REQUIRE(begins.back() < horizon, "last segment begin beyond horizon");
 
-  // Build a balanced treap directly from the sorted sequence.
+  // O(S) treap construction from the sorted sequence: keep the rightmost
+  // spine on a stack and attach each new maximum-priority prefix as the
+  // left child of the incoming node (the Cartesian-tree build). One
+  // contiguous arena allocation replaces S individual `new`s.
+  impl_->pool.reserve(begins.size() + 64);
+  std::vector<std::int32_t> spine;
+  spine.reserve(64);
   for (std::size_t i = 0; i < begins.size(); ++i) {
-    Node* node = new Node(begins[i], budgets[i], impl_->rng.next());
-    impl_->root = Impl::merge(impl_->root, node);
+    const auto node = static_cast<std::int32_t>(impl_->pool.size());
+    impl_->pool.emplace_back(begins[i], budgets[i], impl_->rng.next());
+    std::int32_t last = kNil;
+    while (!spine.empty() &&
+           impl_->at(spine.back()).prio < impl_->at(node).prio) {
+      last = spine.back();
+      spine.pop_back();
+    }
+    impl_->at(node).left = last;
+    if (!spine.empty()) impl_->at(spine.back()).right = node;
+    spine.push_back(node);
   }
-  impl_->count = begins.size();
+  impl_->root = spine.front();
+  impl_->pullAll(impl_->root);
+
+  if (horizon <= kBoundaryBitmapLimit) {
+    impl_->boundaryBits.assign(static_cast<std::size_t>(horizon) / 64 + 1, 0);
+    for (const Node& n : impl_->pool)
+      impl_->boundaryBits[static_cast<std::size_t>(n.key) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(n.key) & 63);
+  }
 }
 
 BudgetTree::~BudgetTree() = default;
@@ -151,25 +239,85 @@ BudgetTree& BudgetTree::operator=(BudgetTree&&) noexcept = default;
 
 void BudgetTree::splitAt(Time t) {
   if (t <= 0 || t >= horizon_) return;
-  Power budget = 0;
-  Node* floor = impl_->floorNode(t, budget);
-  CAWO_ASSERT(floor != nullptr, "no segment contains t");
-  if (floor->key == t) return;
-  // Insert a new segment at t with the same budget as its container.
-  Node *lo = nullptr, *hi = nullptr;
-  Impl::split(impl_->root, t, lo, hi);
-  Node* node = new Node(t, budget, impl_->rng.next());
-  impl_->root = Impl::merge(Impl::merge(lo, node), hi);
-  ++impl_->count;
+  Impl& I = *impl_;
+  if (!I.boundaryBits.empty()) {
+    const auto ut = static_cast<std::size_t>(t);
+    std::uint64_t& word = I.boundaryBits[ut >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (ut & 63);
+    if (word & bit) return; // boundary already exists — skip the descent
+    word |= bit;
+  }
+  // Single descent along the BST search path for t, pushing lazy down as
+  // we go. The path visits the floor of t (the last node with key < t
+  // where the descent turns right), so its budget — the budget the new
+  // segment inherits — is captured in passing; a key == t hit aborts with
+  // values observationally unchanged (push only materialises pending
+  // lazy). The new node is attached as a leaf and rotated up while its
+  // heap priority demands, the expected-O(1) treap insertion.
+  auto& path = I.pathScratch;
+  path.clear();
+  std::int32_t i = I.root;
+  Power floorBudget = 0;
+  bool haveFloor = false;
+  while (i != kNil) {
+    I.push(i);
+    const Node& n = I.at(i);
+    if (n.key == t) return; // already a boundary
+    path.push_back(i);
+    if (n.key < t) {
+      floorBudget = n.budget;
+      haveFloor = true;
+      i = n.right;
+    } else {
+      i = n.left;
+    }
+  }
+  CAWO_ASSERT(haveFloor, "no segment contains t");
+  const auto node = static_cast<std::int32_t>(I.pool.size());
+  I.pool.emplace_back(t, floorBudget, I.rng.next());
+  {
+    Node& leafParent = I.at(path.back());
+    (t < leafParent.key ? leafParent.left : leafParent.right) = node;
+  }
+
+  std::size_t d = path.size();
+  while (d > 0) {
+    const std::int32_t pi = path[d - 1];
+    if (I.at(node).prio <= I.at(pi).prio) {
+      // Heap order satisfied — repair the aggregates of the remaining
+      // ancestors and stop.
+      for (std::size_t k = d; k > 0; --k) I.pull(path[k - 1]);
+      return;
+    }
+    // Rotate `node` above its parent. Both have zero lazy (pushed on the
+    // way down / fresh), so the rotation is value-exact; re-parented
+    // subtrees keep their own pending lazy.
+    Node& p = I.at(pi);
+    Node& c = I.at(node);
+    if (p.left == node) {
+      p.left = c.right;
+      c.right = pi;
+    } else {
+      p.right = c.left;
+      c.left = pi;
+    }
+    I.pull(pi);
+    I.pull(node);
+    --d;
+    if (d == 0) {
+      I.root = node;
+    } else {
+      Node& g = I.at(path[d - 1]);
+      (g.left == pi ? g.left : g.right) = node;
+    }
+  }
 }
 
 void BudgetTree::addRange(Time a, Time b, Power delta) {
   if (a >= b || delta == 0) return;
-  Node *lo = nullptr, *mid = nullptr, *hi = nullptr;
-  Impl::split(impl_->root, a, lo, mid);
-  Impl::split(mid, b, mid, hi);
-  if (mid != nullptr) mid->lazy += delta;
-  impl_->root = Impl::merge(Impl::merge(lo, mid), hi);
+  impl_->addRange(impl_->root, a, b - 1, delta,
+                  std::numeric_limits<Time>::min(),
+                  std::numeric_limits<Time>::max());
 }
 
 void BudgetTree::consume(Time a, Time b, Power amount) {
@@ -183,54 +331,53 @@ void BudgetTree::consume(Time a, Time b, Power amount) {
 BudgetTree::MaxResult BudgetTree::maxInRange(Time lo, Time hi) const {
   MaxResult res;
   if (lo > hi) return res;
-  Node *l = nullptr, *m = nullptr, *r = nullptr;
-  Impl::split(impl_->root, lo, l, m);
-  Impl::split(m, hi + 1, m, r);
-  if (m != nullptr) {
-    res.found = true;
-    res.budget = Impl::maxOf(m);
-    bool done = false;
-    Impl::argmaxEarliest(m, res.budget, done, res.begin);
-    CAWO_ASSERT(done, "argmax not found despite non-empty range");
-  }
-  impl_->root = Impl::merge(Impl::merge(l, m), r);
+  Impl::RangeBest best;
+  impl_->rangeBest(impl_->root, lo, hi, 0, std::numeric_limits<Time>::min(),
+                   std::numeric_limits<Time>::max(), best);
+  if (best.budget == kMinPower) return res;
+  if (best.subtree != kNil)
+    impl_->argmaxInSubtree(best.subtree, best.subAcc, best.budget, best.key);
+  res.found = true;
+  res.budget = best.budget;
+  res.begin = best.key;
   return res;
 }
 
 Power BudgetTree::budgetAt(Time t) const {
   CAWO_REQUIRE(t >= 0 && t < horizon_, "time outside horizon");
   Power budget = 0;
-  Node* n = impl_->floorNode(t, budget);
-  CAWO_ASSERT(n != nullptr, "no segment contains t");
+  const std::int32_t n = impl_->floorNode(t, budget);
+  CAWO_ASSERT(n != kNil, "no segment contains t");
   return budget;
 }
 
-std::size_t BudgetTree::size() const { return impl_->count; }
+std::size_t BudgetTree::size() const { return impl_->pool.size(); }
 
 std::vector<std::pair<Time, Power>> BudgetTree::dump() const {
   std::vector<std::pair<Time, Power>> out;
-  out.reserve(impl_->count);
+  out.reserve(impl_->pool.size());
   // Iterative in-order walk with explicit lazy accumulation.
   struct Frame {
-    Node* node;
+    std::int32_t node;
     Power acc;
     bool expanded;
   };
   std::vector<Frame> stack;
-  if (impl_->root != nullptr) stack.push_back({impl_->root, 0, false});
+  if (impl_->root != kNil) stack.push_back({impl_->root, 0, false});
   while (!stack.empty()) {
-    Frame f = stack.back();
+    const Frame f = stack.back();
     stack.pop_back();
-    if (f.node == nullptr) continue;
-    const Power acc = f.acc + f.node->lazy;
+    if (f.node == kNil) continue;
+    const Node& n = impl_->at(f.node);
+    const Power acc = f.acc + n.lazy;
     if (f.expanded) {
-      out.emplace_back(f.node->key, f.node->budget + f.acc + f.node->lazy);
+      out.emplace_back(n.key, n.budget + acc);
       continue;
     }
     // In-order: right first on the stack, then self, then left.
-    if (f.node->right != nullptr) stack.push_back({f.node->right, acc, false});
+    if (n.right != kNil) stack.push_back({n.right, acc, false});
     stack.push_back({f.node, f.acc, true});
-    if (f.node->left != nullptr) stack.push_back({f.node->left, acc, false});
+    if (n.left != kNil) stack.push_back({n.left, acc, false});
   }
   return out;
 }

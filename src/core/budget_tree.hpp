@@ -15,6 +15,14 @@
 /// Implemented as a treap keyed by segment begin time, augmented with the
 /// subtree maximum budget, with lazy range-add. Ties on the maximum are
 /// broken toward the earliest segment, as the paper requires.
+///
+/// Storage is an index-linked arena (one contiguous node vector, bump
+/// allocation, no per-node `new`), built in O(S) from the sorted segment
+/// sequence. Queries (`maxInRange`, `budgetAt`) and range updates
+/// (`addRange`) are top-down descents that never restructure the tree;
+/// only `splitAt` inserts. `maxInRange`/`budgetAt`/`dump` are genuinely
+/// read-only, so concurrent const readers are safe — but any mutator
+/// (`consume`, `splitAt`, `addRange`) requires exclusive access.
 
 namespace cawo {
 

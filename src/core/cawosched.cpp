@@ -1,6 +1,7 @@
 #include "core/cawosched.hpp"
 
 #include "core/solve_context.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
 
@@ -64,9 +65,12 @@ Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
   if (spec.localSearch) {
     LocalSearchOptions lopts;
     lopts.radius = params.lsRadius;
+    lopts.threads = params.threads;
+    lopts.restarts = params.lsRestarts;
+    lopts.seed = params.lsSeed;
     timer.reset();
     const LocalSearchStats ls =
-        localSearch(ctx.gc(), ctx.profile(), ctx.deadline(), s, lopts);
+        localSearchRestarts(ctx.gc(), ctx.profile(), ctx.deadline(), s, lopts);
     if (stats) {
       stats->lsMs = timer.elapsedMs();
       stats->lsRan = true;
@@ -74,6 +78,39 @@ Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
     }
   }
   return s;
+}
+
+std::vector<Schedule> runVariants(const SolveContext& ctx,
+                                  const std::vector<VariantSpec>& specs,
+                                  const CaWoParams& params, unsigned threads,
+                                  std::vector<VariantRunStats>* stats) {
+  if (stats) stats->assign(specs.size(), VariantRunStats{});
+
+  // Prime every shared artifact the fan-out will read — after this the
+  // frozen context serves cache hits only.
+  (void)ctx.initialEst();
+  (void)ctx.initialLst();
+  (void)ctx.asapMakespan();
+  (void)ctx.sumWorkPower();
+  bool anyRefined = false;
+  for (const VariantSpec& spec : specs) {
+    anyRefined = anyRefined || spec.refined;
+    (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
+  }
+  if (anyRefined) (void)ctx.refinedIntervals(params.blockSize);
+
+  // The variant fan-out owns the workers; keep the kernels inside each
+  // variant serial so a 16-way batch never oversubscribes the machine.
+  CaWoParams inner = params;
+  if (threads != 1) inner.threads = 1;
+
+  std::vector<Schedule> out(specs.size());
+  const SolveContextFreezeGuard freeze(ctx);
+  parallelFor(specs.size(), threads, [&](std::size_t i) {
+    out[i] = runVariant(ctx, specs[i], inner,
+                        stats ? &(*stats)[i] : nullptr);
+  });
+  return out;
 }
 
 } // namespace cawo

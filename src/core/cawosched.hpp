@@ -48,6 +48,16 @@ std::vector<VariantSpec> greedyOnlyVariants();
 struct CaWoParams {
   int blockSize = 3;
   Time lsRadius = 10;
+
+  /// Intra-solve worker threads (0 = hardware): local-search restart
+  /// fan-out and wide candidate scans. Schedules are bit-identical for
+  /// every value — the parallel kernels reduce in deterministic order.
+  unsigned threads = 1;
+
+  /// Local-search restarts (best-of-N; restart 0 is the unperturbed
+  /// climb, so 1 = the paper's plain -LS pass).
+  std::size_t lsRestarts = 1;
+  std::uint64_t lsSeed = 0x5eedCA205eedULL; ///< restart perturbation seed
 };
 
 /// Per-phase diagnostics of one variant run: the greedy/local-search wall
@@ -74,5 +84,19 @@ Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
 Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
                     const CaWoParams& params = {},
                     VariantRunStats* stats = nullptr);
+
+/// Run several variants on one shared context, fanned out across
+/// `threads` workers (0 = hardware). The shared prefix work — initial
+/// windows, ASAP makespan, the refined interval set and every score
+/// order the selection needs — is primed once up front and the context
+/// is frozen for the fan-out, so concurrent variant runs only ever read
+/// it (see SolveContext's concurrency contract). `out[i]` / `stats[i]`
+/// belong to `specs[i]`; results are bit-identical to running
+/// `runVariant` serially in `specs` order, for every thread count.
+std::vector<Schedule> runVariants(const SolveContext& ctx,
+                                  const std::vector<VariantSpec>& specs,
+                                  const CaWoParams& params = {},
+                                  unsigned threads = 1,
+                                  std::vector<VariantRunStats>* stats = nullptr);
 
 } // namespace cawo

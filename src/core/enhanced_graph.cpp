@@ -208,6 +208,17 @@ void EnhancedGraph::finalize() {
   totalIdle_ = 0;
   for (Power p : procIdle_) totalIdle_ += p;
 
+  // Dense SoA mirrors of the hot per-node fields (see enhanced_graph.hpp).
+  lens_.resize(nodes_.size());
+  procs_.resize(nodes_.size());
+  nodeDraw_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    lens_[i] = nodes_[i].len;
+    procs_[i] = nodes_[i].proc;
+    const auto p = static_cast<std::size_t>(nodes_[i].proc);
+    nodeDraw_[i] = procIdle_[p] + procWork_[p];
+  }
+
   // Deduplicate edges: a precedence edge of the workflow and a chain edge
   // from the per-processor order may coincide; keeping one copy is enough.
   {
@@ -263,6 +274,35 @@ void EnhancedGraph::finalize() {
   CAWO_REQUIRE(topo_.size() == n,
                "enhanced graph has a cycle — mapping order conflicts with "
                "precedence constraints");
+
+  // Position-space renumbering of the hot kernel data: the worklist
+  // propagation of WindowState indexes everything by topological position,
+  // so the id↔position translation happens once here instead of per load.
+  topoPos_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    topoPos_[static_cast<std::size_t>(topo_[pos])] = static_cast<TaskId>(pos);
+  lensByPos_.resize(n);
+  posSuccIndex_.assign(n + 1, 0);
+  posPredIndex_.assign(n + 1, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const auto u = static_cast<std::size_t>(topo_[pos]);
+    lensByPos_[pos] = lens_[u];
+    posSuccIndex_[pos + 1] =
+        posSuccIndex_[pos] + (succIndex_[u + 1] - succIndex_[u]);
+    posPredIndex_[pos + 1] =
+        posPredIndex_[pos] + (predIndex_[u + 1] - predIndex_[u]);
+  }
+  posSuccList_.resize(succList_.size());
+  posPredList_.resize(predList_.size());
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const auto u = static_cast<std::size_t>(topo_[pos]);
+    std::size_t w = posSuccIndex_[pos];
+    for (std::size_t e = succIndex_[u]; e < succIndex_[u + 1]; ++e)
+      posSuccList_[w++] = topoPos_[static_cast<std::size_t>(succList_[e])];
+    w = posPredIndex_[pos];
+    for (std::size_t e = predIndex_[u]; e < predIndex_[u + 1]; ++e)
+      posPredList_[w++] = topoPos_[static_cast<std::size_t>(predList_[e])];
+  }
 }
 
 std::size_t EnhancedGraph::checked(TaskId u) const {

@@ -87,11 +87,46 @@ public:
   ProcId numLinks() const { return numProcs() - numRealProcs_; }
 
   const Node& node(TaskId u) const { return nodes_[checked(u)]; }
-  Time len(TaskId u) const { return nodes_[checked(u)].len; }
-  ProcId procOf(TaskId u) const { return nodes_[checked(u)].proc; }
+  Time len(TaskId u) const { return lens_[checked(u)]; }
+  ProcId procOf(TaskId u) const { return procs_[checked(u)]; }
   bool isCommTask(TaskId u) const {
     return nodes_[checked(u)].original == kInvalidTask;
   }
+
+  /// Total power drawn while node `u` executes: idle + work power of its
+  /// processor. Precomputed per node (SoA) for the greedy's consume loop.
+  Power drawPower(TaskId u) const { return nodeDraw_[checked(u)]; }
+
+  /// Flat structure-of-arrays mirrors of the per-node hot fields. The `Node`
+  /// records stay the canonical store for metadata; the kernels (window
+  /// propagation, greedy placement, refinement) index these dense arrays so
+  /// inner loops touch 8-byte strides instead of whole Node records.
+  std::span<const Time> lens() const { return lens_; }
+  std::span<const ProcId> procs() const { return procs_; }
+  std::span<const Power> nodeDrawPowers() const { return nodeDraw_; }
+
+  /// Raw CSR adjacency: successors of u are
+  /// `succAdjacency()[succOffsets()[u] .. succOffsets()[u+1])` (likewise
+  /// preds). Exposed flat so hot loops can keep the base pointers in
+  /// registers instead of re-deriving a span per node.
+  std::span<const std::size_t> succOffsets() const { return succIndex_; }
+  std::span<const TaskId> succAdjacency() const { return succList_; }
+  std::span<const std::size_t> predOffsets() const { return predIndex_; }
+  std::span<const TaskId> predAdjacency() const { return predList_; }
+
+  /// Topological-position renumbering: `topoPositions()[u]` is the index of
+  /// node u in `topoOrder()`. The worklist kernels run entirely in position
+  /// space — windows, adjacency and lengths all indexed by position — which
+  /// removes the id↔position indirections from the inner loops and gives
+  /// neighbouring loads topological locality. `posSucc*`/`posPred*` are the
+  /// CSR adjacency renumbered into position space; `lensByPos()` mirrors
+  /// `lens()`.
+  std::span<const TaskId> topoPositions() const { return topoPos_; }
+  std::span<const std::size_t> posSuccOffsets() const { return posSuccIndex_; }
+  std::span<const TaskId> posSuccAdjacency() const { return posSuccList_; }
+  std::span<const std::size_t> posPredOffsets() const { return posPredIndex_; }
+  std::span<const TaskId> posPredAdjacency() const { return posPredList_; }
+  std::span<const Time> lensByPos() const { return lensByPos_; }
 
   Power idlePower(ProcId p) const;
   Power workPower(ProcId p) const;
@@ -122,6 +157,9 @@ private:
   void finalize(); // builds CSR adjacency + topo order
 
   std::vector<Node> nodes_;
+  std::vector<Time> lens_;      ///< SoA mirror of Node::len
+  std::vector<ProcId> procs_;   ///< SoA mirror of Node::proc
+  std::vector<Power> nodeDraw_; ///< idle+work power of the node's processor
   std::vector<TaskId> edgeSrc_, edgeDst_;
   std::vector<Power> procIdle_, procWork_;
   std::vector<std::vector<TaskId>> procOrder_;
@@ -133,6 +171,12 @@ private:
   std::vector<std::size_t> predIndex_;
   std::vector<TaskId> predList_;
   std::vector<TaskId> topo_;
+
+  // Position-space mirrors (see topoPositions()).
+  std::vector<TaskId> topoPos_;
+  std::vector<std::size_t> posSuccIndex_, posPredIndex_;
+  std::vector<TaskId> posSuccList_, posPredList_;
+  std::vector<Time> lensByPos_;
 };
 
 } // namespace cawo

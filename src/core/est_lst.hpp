@@ -74,12 +74,16 @@ public:
   const EnhancedGraph& graph() const { return *gc_; }
   Time deadline() const { return deadline_; }
 
-  Time est(TaskId v) const { return est_[checked(v)]; }
-  Time lst(TaskId v) const { return lst_[checked(v)]; }
-  const std::vector<Time>& estAll() const { return est_; }
-  const std::vector<Time>& lstAll() const { return lst_; }
+  Time est(TaskId v) const { return estP_[posOf(checked(v))]; }
+  Time lst(TaskId v) const { return lstP_[posOf(checked(v))]; }
 
-  bool placed(TaskId v) const { return placed_[checked(v)] != 0; }
+  /// Windows indexed by node id — materialised on demand (the state is kept
+  /// in topological-position space internally); intended for tests/oracles,
+  /// not hot paths.
+  std::vector<Time> estAll() const;
+  std::vector<Time> lstAll() const;
+
+  bool placed(TaskId v) const { return placedP_[posOf(checked(v))] != 0; }
   std::size_t numPlaced() const { return numPlaced_; }
 
   /// Pin task `v` at `start` and propagate the window change through the
@@ -96,23 +100,33 @@ public:
 
 private:
   std::size_t checked(TaskId v) const;
-  void setEst(std::size_t i, Time value);
-  void setLst(std::size_t i, Time value);
-  void initTopoPositions();
+  std::size_t posOf(std::size_t i) const {
+    return static_cast<std::size_t>(gc_->topoPositions()[i]);
+  }
+  void setEst(std::size_t pos, Time value);
+  void setLst(std::size_t pos, Time value);
 
   const EnhancedGraph* gc_ = nullptr;
   Time deadline_ = 0;
-  std::vector<Time> est_, lst_;
-  std::vector<std::uint8_t> placed_;
-  std::vector<TaskId> topoPos_; ///< node id → position in topo order
+
+  // All mutable state lives in *topological-position space* (index = the
+  // node's position in gc_->topoOrder()): the worklist propagation then
+  // runs with zero id↔position translation, position-renumbered adjacency
+  // (EnhancedGraph::posSucc*/posPred*), and topological locality between
+  // neighbouring loads. `finishP_` caches estP_ + len so the forward
+  // relaxation reads one array instead of two.
+  std::vector<Time> estP_, lstP_, finishP_;
+  std::vector<std::uint8_t> placedP_;
   std::size_t negativeSlack_ = 0;
   std::size_t numPlaced_ = 0;
 
-  // Worklist scratch, kept across `place` calls to avoid reallocation.
-  // Binary heaps ordered by topological position (min-heap forward,
-  // max-heap backward) with membership flags for deduplication.
-  std::vector<TaskId> heapFwd_, heapBwd_;
-  std::vector<std::uint8_t> queuedFwd_, queuedBwd_;
+  // Worklist scratch, kept across `place` calls (always all-zero between
+  // them). Propagation is monotone in topological position — forward
+  // pushes only go to larger positions, backward only to smaller — so the
+  // pending set is a position bitmap (n/8 bytes, L1-resident) scanned in
+  // bit order instead of a binary heap: pop is find-next-set-bit, push is
+  // set-bit, deduplication is free.
+  std::vector<std::uint64_t> pendFwd_, pendBwd_;
 };
 
 } // namespace cawo

@@ -71,11 +71,9 @@ Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
     schedule.setStart(v, start);
 
     const Time finish = start + gc.len(v);
-    const ProcId p = gc.procOf(v);
     // Split the first/last touched interval at the task's boundaries, then
     // reduce the budget of every covered interval by the processor's draw.
-    tree.consume(start, std::min(finish, profile.horizon()),
-                 gc.idlePower(p) + gc.workPower(p));
+    tree.consume(start, std::min(finish, profile.horizon()), gc.drawPower(v));
 
     // The update after the last placement is dead — no window is read
     // again — so it is skipped entirely.

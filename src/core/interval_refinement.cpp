@@ -1,56 +1,113 @@
 #include "core/interval_refinement.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace cawo {
 
-std::vector<Time> refinementCutPoints(const EnhancedGraph& gc,
-                                      const PowerProfile& profile, int k) {
-  CAWO_REQUIRE(k >= 1, "block size must be at least 1");
-  const Time horizon = profile.horizon();
-  const std::vector<Time> boundaries = profile.boundaries();
+namespace {
 
-  std::vector<Time> cuts;
-  for (ProcId p = 0; p < gc.numProcs(); ++p) {
-    const auto order = gc.procOrder(p);
-    const std::size_t np = order.size();
-    if (np == 0) continue;
+/// Emit every candidate cut point of processor `p` into `emit(t)`,
+/// t guaranteed in (0, horizon). Shared by the dense and sparse paths.
+template <typename Emit>
+void emitCutsForProc(const EnhancedGraph& gc,
+                     const std::vector<Time>& boundaries, Time horizon, int k,
+                     ProcId p, Emit&& emit) {
+  const auto order = gc.procOrder(p);
+  const std::size_t np = order.size();
+  if (np == 0) return;
 
-    // Prefix lengths of the processor's task sequence for O(1) block sums.
-    std::vector<Time> prefix(np + 1, 0);
-    for (std::size_t i = 0; i < np; ++i)
-      prefix[i + 1] = prefix[i] + gc.len(order[i]);
+  // Prefix lengths of the processor's task sequence for O(1) block sums.
+  std::vector<Time> prefix(np + 1, 0);
+  for (std::size_t i = 0; i < np; ++i)
+    prefix[i + 1] = prefix[i] + gc.len(order[i]);
 
-    for (std::size_t first = 0; first < np; ++first) {
-      const std::size_t lastLimit =
-          std::min(np, first + static_cast<std::size_t>(k));
-      for (std::size_t last = first + 1; last <= lastLimit; ++last) {
-        // Block covers order[first .. last-1].
-        const Time blockLen = prefix[last] - prefix[first];
-        for (const Time e : boundaries) {
-          // Block starts at e: task m starts at e + (prefix[m]-prefix[first])
-          if (e + blockLen <= horizon) {
-            for (std::size_t m = first; m < last; ++m) {
-              const Time t = e + (prefix[m] - prefix[first]);
-              if (t > 0 && t < horizon) cuts.push_back(t);
-            }
+  for (std::size_t first = 0; first < np; ++first) {
+    const std::size_t lastLimit =
+        std::min(np, first + static_cast<std::size_t>(k));
+    for (std::size_t last = first + 1; last <= lastLimit; ++last) {
+      // Block covers order[first .. last-1].
+      const Time blockLen = prefix[last] - prefix[first];
+      for (const Time e : boundaries) {
+        // Block starts at e: task m starts at e + (prefix[m]-prefix[first])
+        if (e + blockLen <= horizon) {
+          for (std::size_t m = first; m < last; ++m) {
+            const Time t = e + (prefix[m] - prefix[first]);
+            if (t > 0 && t < horizon) emit(t);
           }
-          // Block ends at e: task m starts at e − (prefix[last]-prefix[m]).
-          if (e - blockLen >= 0) {
-            for (std::size_t m = first; m < last; ++m) {
-              const Time t = e - (prefix[last] - prefix[m]);
-              if (t > 0 && t < horizon) cuts.push_back(t);
-            }
+        }
+        // Block ends at e: task m starts at e − (prefix[last]-prefix[m]).
+        if (e - blockLen >= 0) {
+          for (std::size_t m = first; m < last; ++m) {
+            const Time t = e - (prefix[last] - prefix[m]);
+            if (t > 0 && t < horizon) emit(t);
           }
         }
       }
     }
   }
+}
+
+/// Horizon cap for the dense mark table (bytes). Block-alignment emits
+/// O(procs · np · k² · |boundaries|) candidate times with massive
+/// duplication; below this cap a byte-per-time-unit table replaces the
+/// collect-then-sort entirely, and because marking is idempotent and
+/// commutative the result is independent of emission order — and thus of
+/// the thread count.
+constexpr Time kDenseHorizonLimit = Time(1) << 26;
+
+} // namespace
+
+std::vector<Time> refinementCutPoints(const EnhancedGraph& gc,
+                                      const PowerProfile& profile, int k,
+                                      unsigned threads) {
+  CAWO_REQUIRE(k >= 1, "block size must be at least 1");
+  const Time horizon = profile.horizon();
+  const std::vector<Time> boundaries = profile.boundaries();
+  const std::size_t numProcs = static_cast<std::size_t>(gc.numProcs());
+
+  if (horizon > 0 && horizon <= kDenseHorizonLimit) {
+    // Dense path: one relaxed-atomic byte per time unit. Relaxed is enough —
+    // every writer stores the same value and parallelFor's join synchronises
+    // the readers below.
+    const auto n = static_cast<std::size_t>(horizon);
+    std::unique_ptr<std::atomic<std::uint8_t>[]> marks(
+        new std::atomic<std::uint8_t>[n]());
+    parallelFor(numProcs, threads, [&](std::size_t p) {
+      emitCutsForProc(gc, boundaries, horizon, k, static_cast<ProcId>(p),
+                      [&](Time t) {
+                        marks[static_cast<std::size_t>(t)].store(
+                            1, std::memory_order_relaxed);
+                      });
+    });
+    // Times that are already interval boundaries are not *new* cut points.
+    for (const Time b : boundaries)
+      if (b > 0 && b < horizon)
+        marks[static_cast<std::size_t>(b)].store(0, std::memory_order_relaxed);
+    std::vector<Time> fresh;
+    for (std::size_t t = 1; t < n; ++t)
+      if (marks[t].load(std::memory_order_relaxed))
+        fresh.push_back(static_cast<Time>(t));
+    return fresh;
+  }
+
+  // Sparse fallback (very long horizons): collect per processor, then
+  // sort + unique. Still deterministic — per-processor buckets are merged
+  // in processor order regardless of completion order.
+  std::vector<std::vector<Time>> perProc(numProcs);
+  parallelFor(numProcs, threads, [&](std::size_t p) {
+    emitCutsForProc(gc, boundaries, horizon, k, static_cast<ProcId>(p),
+                    [&](Time t) { perProc[p].push_back(t); });
+  });
+  std::vector<Time> cuts;
+  for (const auto& bucket : perProc)
+    cuts.insert(cuts.end(), bucket.begin(), bucket.end());
   std::sort(cuts.begin(), cuts.end());
   cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-  // Times that are already interval boundaries are not *new* cut points.
   std::vector<Time> sortedBoundaries = boundaries;
   std::sort(sortedBoundaries.begin(), sortedBoundaries.end());
   std::vector<Time> fresh;
@@ -81,8 +138,9 @@ std::vector<Interval> splitIntervalsAt(std::span<const Interval> intervals,
 }
 
 std::vector<Interval> refineIntervals(const EnhancedGraph& gc,
-                                      const PowerProfile& profile, int k) {
-  const std::vector<Time> cuts = refinementCutPoints(gc, profile, k);
+                                      const PowerProfile& profile, int k,
+                                      unsigned threads) {
+  const std::vector<Time> cuts = refinementCutPoints(gc, profile, k, threads);
   return splitIntervalsAt(profile.intervals(), cuts);
 }
 

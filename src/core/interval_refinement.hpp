@@ -20,13 +20,19 @@
 namespace cawo {
 
 /// Candidate cut points in (0, horizon), sorted and deduplicated.
+/// `threads` parallelises cut generation across processors (0 = hardware);
+/// the result is bit-identical for every thread count — duplicates are
+/// folded through an order-independent mark table (or a post-merge sort on
+/// the sparse fallback path), never through arrival order.
 std::vector<Time> refinementCutPoints(const EnhancedGraph& gc,
-                                      const PowerProfile& profile, int k);
+                                      const PowerProfile& profile, int k,
+                                      unsigned threads = 1);
 
 /// The refined interval list: the profile's intervals split at every cut
 /// point, budgets inherited from the containing original interval.
 std::vector<Interval> refineIntervals(const EnhancedGraph& gc,
-                                      const PowerProfile& profile, int k);
+                                      const PowerProfile& profile, int k,
+                                      unsigned threads = 1);
 
 /// Split the given contiguous interval list at the given sorted cut points.
 /// Exposed separately for testing.

@@ -2,11 +2,57 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "core/power_timeline.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace cawo {
+
+namespace {
+
+/// Candidate scans below this width stay serial: spawning a fork/join
+/// team costs far more than probing a paper-default µ = 10 window. Wide
+/// scans (large radii) fan out across `opts.threads`.
+constexpr std::size_t kParallelScanMinCandidates = 256;
+
+/// Legal start window of `v` against the *current* starts of its
+/// neighbours (Gc's per-processor chain edges make this subsume
+/// exclusivity), clamped to ±radius around the current start.
+std::pair<Time, Time> moveWindow(const EnhancedGraph& gc, Time deadline,
+                                 const Schedule& s, TaskId v, Time len,
+                                 Time radius) {
+  const Time cur = s.start(v);
+  Time lo = 0;
+  for (TaskId u : gc.preds(v)) lo = std::max(lo, s.end(u, gc));
+  Time hi = deadline - len;
+  for (TaskId u : gc.succs(v)) hi = std::min(hi, s.start(u) - len);
+  lo = std::max(lo, cur - radius);
+  hi = std::min(hi, cur + radius);
+  return {lo, hi};
+}
+
+/// Deterministically jitter a feasible schedule for one restart: each
+/// nonzero-length task is moved (coin flip) to a uniform position inside
+/// its precedence-legal window around the current start. Walking the
+/// topological order keeps every intermediate schedule feasible — a move
+/// only consults neighbour starts that are already final for this step.
+void perturbSchedule(const EnhancedGraph& gc, Time deadline, Schedule& s,
+                     Time radius, Rng& rng) {
+  for (const TaskId v : gc.topoOrder()) {
+    const Time len = gc.len(v);
+    if (len == 0) continue;
+    if ((rng.next() & 1) == 0) continue;
+    const auto [lo, hi] = moveWindow(gc, deadline, s, v, len, radius);
+    if (lo >= hi) continue;
+    s.setStart(v, static_cast<Time>(rng.uniformInt(lo, hi)));
+  }
+}
+
+} // namespace
 
 LocalSearchStats localSearch(const EnhancedGraph& gc,
                              const PowerProfile& profile, Time deadline,
@@ -45,26 +91,47 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
         if (len == 0) continue; // zero-length nodes draw no power
         const Power w = gc.workPower(p);
         const Time cur = schedule.start(v);
-
-        Time lo = 0;
-        for (TaskId u : gc.preds(v))
-          lo = std::max(lo, schedule.end(u, gc));
-        Time hi = deadline - len;
-        for (TaskId u : gc.succs(v))
-          hi = std::min(hi, schedule.start(u) - len);
-
-        lo = std::max(lo, cur - opts.radius);
-        hi = std::min(hi, cur + opts.radius);
+        const auto [lo, hi] =
+            moveWindow(gc, deadline, schedule, v, len, opts.radius);
 
         Time bestTarget = cur;
         Cost bestDelta = 0;
-        for (Time t = lo; t <= hi; ++t) {
-          if (t == cur) continue;
-          const Cost delta = timeline.moveDelta(cur, cur + len, t, t + len, w);
-          if (delta < bestDelta) {
-            bestDelta = delta;
-            bestTarget = t;
-            if (opts.strategy == MoveStrategy::FirstImprovement) break;
+        const std::size_t count =
+            hi >= lo ? static_cast<std::size_t>(hi - lo) + 1 : 0;
+        if (opts.threads != 1 && count >= kParallelScanMinCandidates) {
+          // Order-preserving parallel scan: candidates are evaluated on a
+          // *shared read-only* timeline and reduced by candidate index, so
+          // the chosen move is the one the serial loop below would pick —
+          // for BestImprovement the earliest minimum delta, for
+          // FirstImprovement the earliest improving delta.
+          const auto eval = [&](std::size_t i) -> Cost {
+            const Time t = lo + static_cast<Time>(i);
+            if (t == cur) return 0;
+            return timeline.peekMoveDelta(cur, cur + len, t, t + len, w);
+          };
+          Cost best = 0;
+          const auto better =
+              opts.strategy == MoveStrategy::BestImprovement
+                  ? +[](const Cost& x, const Cost& y) { return x < y; }
+                  : +[](const Cost& x, const Cost& y) {
+                      return x < 0 && y >= 0;
+                    };
+          const std::size_t idx = parallelOrderedBest<Cost>(
+              count, opts.threads, Cost{0}, eval, better, &best);
+          if (idx != count) {
+            bestDelta = best;
+            bestTarget = lo + static_cast<Time>(idx);
+          }
+        } else {
+          for (Time t = lo; t <= hi; ++t) {
+            if (t == cur) continue;
+            const Cost delta =
+                timeline.peekMoveDelta(cur, cur + len, t, t + len, w);
+            if (delta < bestDelta) {
+              bestDelta = delta;
+              bestTarget = t;
+              if (opts.strategy == MoveStrategy::FirstImprovement) break;
+            }
           }
         }
         if (bestDelta < 0) {
@@ -81,6 +148,59 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
   stats.finalCost = timeline.totalCost();
   CAWO_ASSERT(stats.finalCost <= stats.initialCost,
               "local search must never worsen the schedule");
+  return stats;
+}
+
+LocalSearchStats localSearchRestarts(const EnhancedGraph& gc,
+                                     const PowerProfile& profile,
+                                     Time deadline, Schedule& schedule,
+                                     const LocalSearchOptions& opts) {
+  const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
+  if (restarts == 1) {
+    LocalSearchStats stats = localSearch(gc, profile, deadline, schedule, opts);
+    stats.restartsRun = 1;
+    stats.bestRestart = 0;
+    return stats;
+  }
+
+  struct Attempt {
+    Schedule schedule;
+    LocalSearchStats stats;
+  };
+  std::vector<Attempt> attempts(restarts);
+  // Each restart is fully independent — own schedule copy, own timeline,
+  // own RNG stream (restart r seeds SplitMix64 at `seed + r·golden`) — so
+  // the fan-out needs no synchronisation beyond the disjoint slots.
+  parallelFor(restarts, opts.threads, [&](std::size_t r) {
+    Schedule mine = schedule;
+    if (r > 0) {
+      Rng rng(opts.seed +
+              0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r));
+      // Diversify beyond the climb radius so restarts escape the basin
+      // the unperturbed climb would fall into.
+      perturbSchedule(gc, deadline, mine, opts.radius * 4, rng);
+    }
+    LocalSearchOptions inner = opts;
+    inner.restarts = 1;
+    inner.threads = 1; // the fan-out already owns the workers
+    attempts[r].stats = localSearch(gc, profile, deadline, mine, inner);
+    attempts[r].schedule = std::move(mine);
+  });
+
+  // Deterministic best-of-N merge: strictly lower final cost wins, ties
+  // go to the lowest restart index — never to arrival order.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r)
+    if (attempts[r].stats.finalCost < attempts[best].stats.finalCost)
+      best = r;
+
+  LocalSearchStats stats = attempts[best].stats;
+  stats.initialCost = attempts[0].stats.initialCost; // the true input cost
+  stats.restartsRun = restarts;
+  stats.bestRestart = best;
+  schedule = std::move(attempts[best].schedule);
+  CAWO_ASSERT(stats.finalCost <= stats.initialCost,
+              "restart merge must never worsen the schedule");
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/enhanced_graph.hpp"
 #include "core/power_profile.hpp"
@@ -30,6 +31,22 @@ struct LocalSearchOptions {
   Time radius = 10;             ///< µ: how far a task may shift per probe
   std::size_t maxRounds = ~std::size_t{0};
   MoveStrategy strategy = MoveStrategy::FirstImprovement;
+
+  /// Worker threads (0 = hardware concurrency). Used for the restart
+  /// fan-out of `localSearchRestarts` and, within one climb, for wide
+  /// candidate scans. Results are bit-identical for every value: both
+  /// reductions are order-preserving with ties broken by candidate index
+  /// / restart index, never by completion order.
+  unsigned threads = 1;
+
+  /// Independent hill-climbing restarts for `localSearchRestarts`.
+  /// Restart 0 climbs from the input schedule unchanged (so `restarts ==
+  /// 1` is plain `localSearch`); restarts 1..N−1 climb from copies
+  /// perturbed by per-restart RNG streams derived from `seed`. The best
+  /// final cost wins, ties to the lowest restart index — the parallel
+  /// merge therefore reproduces the serial best-of-N exactly.
+  std::size_t restarts = 1;
+  std::uint64_t seed = 0x5eedCA205eedULL; ///< base seed for perturbations
 };
 
 struct LocalSearchStats {
@@ -37,6 +54,8 @@ struct LocalSearchStats {
   std::size_t movesApplied = 0;
   Cost initialCost = 0;
   Cost finalCost = 0;
+  std::size_t restartsRun = 1; ///< climbs performed (1 for plain runs)
+  std::size_t bestRestart = 0; ///< winning restart (0 = unperturbed)
 };
 
 /// Improve `schedule` in place; returns statistics about the run.
@@ -44,5 +63,17 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
                              const PowerProfile& profile, Time deadline,
                              Schedule& schedule,
                              const LocalSearchOptions& opts = {});
+
+/// Best-of-N multi-start hill climbing (see `LocalSearchOptions::restarts`).
+/// With `restarts == 1` this is exactly `localSearch`. Restarts are
+/// independent — each climbs its own schedule copy on its own timeline —
+/// so they run in parallel across `opts.threads` workers; the merge picks
+/// the lowest final cost, ties to the lowest restart index, making the
+/// result independent of the thread count. The winner can never be worse
+/// than plain `localSearch` because restart 0 *is* plain `localSearch`.
+LocalSearchStats localSearchRestarts(const EnhancedGraph& gc,
+                                     const PowerProfile& profile,
+                                     Time deadline, Schedule& schedule,
+                                     const LocalSearchOptions& opts = {});
 
 } // namespace cawo

@@ -1,5 +1,7 @@
 #include "core/power_timeline.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace cawo {
@@ -62,6 +64,61 @@ Cost PowerTimeline::costInRange(Time a, Time b) const {
     if (over > 0 && hi > lo) cost += static_cast<Cost>(over) * (hi - lo);
   }
   return cost;
+}
+
+Cost PowerTimeline::peekMoveDelta(Time a, Time b, Time a2, Time b2,
+                                  Power work) const {
+  const bool hasOld = a < b;
+  const bool hasNew = a2 < b2;
+  if (work == 0 || (!hasOld && !hasNew) ||
+      (hasOld && hasNew && a == a2 && b == b2))
+    return 0;
+  Time lo = hasOld ? a : a2;
+  Time hi = hasOld ? b : b2;
+  if (hasNew) {
+    lo = std::min(lo, a2);
+    hi = std::max(hi, b2);
+  }
+  CAWO_REQUIRE(lo >= 0 && hi <= horizon_, "load outside horizon");
+
+  Cost delta = 0;
+  auto it = segments_.upper_bound(lo);
+  --it; // segment containing lo
+  for (; it != segments_.end() && it->first < hi; ++it) {
+    const Time segLo = std::max(lo, it->first);
+    const Time segHi = std::min(hi, std::next(it)->first);
+    const Power over = base_ + it->second.active - it->second.green;
+    // The load change is piecewise constant; inside this segment it can
+    // only switch at the four move endpoints, so cut there and sum each
+    // constant piece directly.
+    Time cuts[6] = {segLo, segHi};
+    int numCuts = 2;
+    for (const Time t : {a, b, a2, b2})
+      if (t > segLo && t < segHi) cuts[numCuts++] = t;
+    for (int k = 2; k < numCuts; ++k) { // insertion sort: ≤ 6 elements
+      const Time t = cuts[k];
+      int j = k - 1;
+      while (j >= 0 && cuts[j] > t) {
+        cuts[j + 1] = cuts[j];
+        --j;
+      }
+      cuts[j + 1] = t;
+    }
+    for (int k = 0; k + 1 < numCuts; ++k) {
+      const Time pieceLo = cuts[k];
+      const Time pieceHi = cuts[k + 1];
+      if (pieceLo >= pieceHi) continue; // duplicate cut
+      Power change = 0;
+      if (hasOld && pieceLo >= a && pieceLo < b) change -= work;
+      if (hasNew && pieceLo >= a2 && pieceLo < b2) change += work;
+      if (change == 0) continue;
+      const Power moved = over + change;
+      const Time len = pieceHi - pieceLo;
+      if (over > 0) delta -= static_cast<Cost>(over) * len;
+      if (moved > 0) delta += static_cast<Cost>(moved) * len;
+    }
+  }
+  return delta;
 }
 
 Cost PowerTimeline::moveDelta(Time a, Time b, Time a2, Time b2, Power work) {

@@ -38,8 +38,17 @@ public:
   Cost costInRange(Time a, Time b) const;
 
   /// Cost change if a load of `work` moved from [a, b) to [a2, b2);
-  /// negative = improvement. The timeline is left unchanged.
+  /// negative = improvement. The timeline is left unchanged — but the
+  /// evaluation mutates and reverts it, so it needs exclusive access and
+  /// permanently adds segment boundaries at the probed endpoints.
   Cost moveDelta(Time a, Time b, Time a2, Time b2, Power work);
+
+  /// The same value as `moveDelta`, computed without ever touching the
+  /// segment map: the delta is summed over the affected segment pieces
+  /// directly. Being genuinely read-only it is safe to call from many
+  /// threads at once on a shared timeline (the parallel local-search
+  /// candidate scans do exactly that), and it leaves no split residue.
+  Cost peekMoveDelta(Time a, Time b, Time a2, Time b2, Power work) const;
 
   Time horizon() const { return horizon_; }
 

@@ -1,6 +1,7 @@
 #include "core/solve_context.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/asap.hpp"
 #include "core/interval_refinement.hpp"
@@ -14,8 +15,15 @@ SolveContext::SolveContext(const EnhancedGraph& gc,
   CAWO_REQUIRE(deadline > 0, "SolveContext: deadline must be positive");
 }
 
+void SolveContext::requireUnfrozen(const char* artifact) const {
+  CAWO_REQUIRE(!frozen_,
+               std::string("SolveContext is frozen: ") + artifact +
+                   " was not primed before the parallel section");
+}
+
 const std::vector<Time>& SolveContext::initialEst() const {
   if (!haveEst_) {
+    requireUnfrozen("initialEst");
     est_ = computeEst(*gc_);
     haveEst_ = true;
   }
@@ -24,6 +32,7 @@ const std::vector<Time>& SolveContext::initialEst() const {
 
 const std::vector<Time>& SolveContext::initialLst() const {
   if (!haveLst_) {
+    requireUnfrozen("initialLst");
     lst_ = computeLst(*gc_, deadline_);
     haveLst_ = true;
   }
@@ -31,12 +40,16 @@ const std::vector<Time>& SolveContext::initialLst() const {
 }
 
 Time SolveContext::asapMakespan() const {
-  if (asapMakespan_ < 0) asapMakespan_ = cawo::asapMakespan(*gc_, initialEst());
+  if (asapMakespan_ < 0) {
+    requireUnfrozen("asapMakespan");
+    asapMakespan_ = cawo::asapMakespan(*gc_, initialEst());
+  }
   return asapMakespan_;
 }
 
 Power SolveContext::sumWorkPower() const {
   if (sumWorkPower_ < 0) {
+    requireUnfrozen("sumWorkPower");
     Power sum = 0;
     for (ProcId p = 0; p < gc_->numProcs(); ++p) sum += gc_->workPower(p);
     sumWorkPower_ = sum;
@@ -48,8 +61,10 @@ const std::vector<Interval>& SolveContext::refinedIntervals(
     int blockSize) const {
   const auto it = refinedByBlockSize_.find(blockSize);
   if (it != refinedByBlockSize_.end()) return it->second;
+  requireUnfrozen("refinedIntervals");
   return refinedByBlockSize_
-      .emplace(blockSize, refineIntervals(*gc_, *profile_, blockSize))
+      .emplace(blockSize,
+               refineIntervals(*gc_, *profile_, blockSize, threads_))
       .first->second;
 }
 
@@ -58,6 +73,7 @@ const std::vector<TaskId>& SolveContext::scoreOrder(
   const auto key = std::make_pair(static_cast<int>(opts.base), opts.weighted);
   const auto it = orders_.find(key);
   if (it != orders_.end()) return it->second;
+  requireUnfrozen("scoreOrder");
   return orders_
       .emplace(key,
                cawo::scoreOrder(*gc_, initialEst(), initialLst(), opts))

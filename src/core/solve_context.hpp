@@ -24,10 +24,18 @@
 /// instance, so sharing cannot change any result — the golden-parity tests
 /// pin that.
 ///
-/// A context borrows the graph and profile (they must outlive it) and is
-/// **not thread-safe**: the lazy caches are unsynchronized. The experiment
-/// runners shard work per instance and build one context per shard, so
-/// each context stays confined to a single thread.
+/// Concurrency contract (see DESIGN.md, "Parallel solve core"): the lazy
+/// caches are unsynchronized, so a context being *filled* must stay
+/// confined to one thread — the experiment runners build one context per
+/// instance shard, and the serve daemon guards each cached context with a
+/// per-entry mutex for exactly this reason. Once every artifact a fan-out
+/// needs has been computed, `freeze()` flips the context read-only:
+/// concurrent readers are then safe by construction, and a getter that
+/// would have to compute something new throws instead of mutating — an
+/// unprimed access under concurrency surfaces as a deterministic error,
+/// never a data race. Intra-solve parallelism never aliases a context's
+/// caches: the parallel kernels (refinement marking, local-search scans
+/// and restarts) work on their own state and only read the context.
 
 namespace cawo {
 
@@ -71,7 +79,24 @@ public:
   /// windows (no Kahn passes) — one per greedy run.
   WindowState windowState() const;
 
+  /// Worker threads (0 = hardware) used when a lazily computed artifact
+  /// supports internal parallelism (today: the dense interval-refinement
+  /// mark pass). Never changes any artifact — those parallel paths are
+  /// order-independent by construction.
+  void setThreads(unsigned threads) { threads_ = threads; }
+  unsigned threads() const { return threads_; }
+
+  /// Flip the context read-only for a parallel section (see the class
+  /// comment); `thaw()` lifts it. Const because freezing only affects
+  /// whether an unprimed access throws, never any computed value. Not
+  /// reentrant — one freeze per context at a time.
+  void freeze() const { frozen_ = true; }
+  void thaw() const { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
 private:
+  void requireUnfrozen(const char* artifact) const;
+
   const EnhancedGraph* gc_;
   const PowerProfile* profile_;
   Time deadline_;
@@ -83,6 +108,25 @@ private:
   mutable Power sumWorkPower_ = -1;
   mutable std::map<int, std::vector<Interval>> refinedByBlockSize_;
   mutable std::map<std::pair<int, bool>, std::vector<TaskId>> orders_;
+  mutable bool frozen_ = false;
+  unsigned threads_ = 1;
+};
+
+/// RAII freeze for a parallel section over a shared context: freezes on
+/// construction, thaws on destruction (also on exceptions, so a failed
+/// fan-out never leaves the context stuck read-only).
+class SolveContextFreezeGuard {
+public:
+  explicit SolveContextFreezeGuard(const SolveContext& ctx) : ctx_(&ctx) {
+    ctx_->freeze();
+  }
+  ~SolveContextFreezeGuard() { ctx_->thaw(); }
+
+  SolveContextFreezeGuard(const SolveContextFreezeGuard&) = delete;
+  SolveContextFreezeGuard& operator=(const SolveContextFreezeGuard&) = delete;
+
+private:
+  const SolveContext* ctx_;
 };
 
 } // namespace cawo

@@ -25,8 +25,14 @@
 ///   ls-final-cost    carbon cost leaving local search
 ///
 /// CaWoSched options (all optional):
-///   block-size  int   refinement block size k (paper: 3)
-///   ls-radius   int   local-search radius µ   (paper: 10)
+///   block-size   int   refinement block size k (paper: 3)
+///   ls-radius    int   local-search radius µ   (paper: 10)
+///   threads      int   intra-solve worker threads (0 = hardware, ≥ 0;
+///                      never changes the schedule — see DESIGN.md,
+///                      "Parallel solve core")
+///   ls-restarts  int   local-search best-of-N restarts (≥ 1; 1 = the
+///                      paper's plain -LS pass)
+///   ls-seed      int   base seed for restart perturbation streams
 
 namespace cawo {
 
@@ -37,6 +43,17 @@ CaWoParams paramsFromOptions(const SolverOptions& options) {
   params.blockSize =
       static_cast<int>(options.getInt("block-size", params.blockSize));
   params.lsRadius = options.getInt("ls-radius", params.lsRadius);
+  const std::int64_t threads = options.getInt("threads", params.threads);
+  CAWO_REQUIRE(threads >= 0,
+               "CaWoSched option \"threads\" must be >= 0 (0 = hardware)");
+  params.threads = static_cast<unsigned>(threads);
+  const std::int64_t restarts =
+      options.getInt("ls-restarts",
+                     static_cast<std::int64_t>(params.lsRestarts));
+  CAWO_REQUIRE(restarts >= 1, "CaWoSched option \"ls-restarts\" must be >= 1");
+  params.lsRestarts = static_cast<std::size_t>(restarts);
+  params.lsSeed = static_cast<std::uint64_t>(options.getInt(
+      "ls-seed", static_cast<std::int64_t>(params.lsSeed)));
   return params;
 }
 
@@ -82,10 +99,14 @@ public:
 
 protected:
   RawResult doSolve(const SolveRequest& request) const override {
+    const CaWoParams params = paramsFromOptions(request.options);
     std::optional<SolveContext> local;
     const SolveContext* ctx = request.context;
     if (ctx == nullptr) {
       local.emplace(*request.gc, *request.profile, request.deadline);
+      // A private context may parallelise its own lazy computations; a
+      // shared one keeps whatever its owner configured.
+      local->setThreads(params.threads);
       ctx = &*local;
     }
 
@@ -94,7 +115,6 @@ protected:
       // remainder. The -LS pass is skipped — its moves are not
       // pin-aware, and re-solves must stay cheap enough to run at every
       // event (see DESIGN.md, "Online execution engine").
-      const CaWoParams params = paramsFromOptions(request.options);
       GreedyOptions gopts;
       gopts.base = spec_.base;
       gopts.weighted = spec_.weighted;
@@ -113,8 +133,7 @@ protected:
 
     VariantRunStats run;
     RawResult raw;
-    raw.schedule =
-        runVariant(*ctx, spec_, paramsFromOptions(request.options), &run);
+    raw.schedule = runVariant(*ctx, spec_, params, &run);
     fillPhaseStats(run, raw.stats);
     return raw;
   }
@@ -135,6 +154,12 @@ void fillPhaseStats(const VariantRunStats& run,
   stats["ls-moves"] = static_cast<std::int64_t>(run.ls.movesApplied);
   stats["ls-initial-cost"] = static_cast<std::int64_t>(run.ls.initialCost);
   stats["ls-final-cost"] = static_cast<std::int64_t>(run.ls.finalCost);
+  // Only multi-start runs grow extra keys, so default-knob records (and
+  // the golden files pinned on them) are byte-identical to before.
+  if (run.ls.restartsRun > 1) {
+    stats["ls-restarts"] = static_cast<std::int64_t>(run.ls.restartsRun);
+    stats["ls-best-restart"] = static_cast<std::int64_t>(run.ls.bestRestart);
+  }
 }
 
 void registerCoreSolvers(SolverRegistry& registry) {

@@ -73,4 +73,14 @@ std::string CliArgs::getString(const std::string& name,
   return it->second;
 }
 
+unsigned threadsFromArgs(const CliArgs& args, const std::string& name,
+                         unsigned fallback) {
+  const std::int64_t value =
+      args.getInt(name, static_cast<std::int64_t>(fallback));
+  CAWO_REQUIRE(value >= 0, "flag --" + name +
+                               " must be >= 0 (0 = all hardware threads), "
+                               "got " + std::to_string(value));
+  return static_cast<unsigned>(value);
+}
+
 } // namespace cawo

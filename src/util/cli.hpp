@@ -34,4 +34,12 @@ private:
   std::map<std::string, std::string> values_;
 };
 
+/// Parse a `--threads`-style flag with the repo-wide convention: 0 means
+/// "hardware concurrency", a positive value is an explicit worker count,
+/// and a negative value is a typed usage error (PreconditionError) — the
+/// unsigned plumbing downstream would otherwise wrap it into an absurd
+/// thread count. Returns `fallback` when the flag is absent.
+unsigned threadsFromArgs(const CliArgs& args, const std::string& name,
+                         unsigned fallback);
+
 } // namespace cawo

@@ -84,6 +84,36 @@ TEST(PowerTimeline, MoveDeltaSeesImprovement) {
   EXPECT_EQ(t.totalCost(), 20); // unchanged by the probe
 }
 
+TEST(PowerTimeline, PeekMoveDeltaMatchesMutatingProbe) {
+  // peekMoveDelta is the read-only twin the parallel candidate scan uses;
+  // it must agree with moveDelta on every move shape — disjoint, partial
+  // overlap, containment, zero-width old or new range — and, unlike the
+  // mutating probe, must not grow the segment map.
+  Rng rng(4242);
+  const Time horizon = 60;
+  for (int trial = 0; trial < 200; ++trial) {
+    const PowerProfile p = randomProfile(horizon, 6, 0, 9, rng);
+    PowerTimeline t(p, rng.uniformInt(0, 3));
+    for (int l = 0; l < 4; ++l) {
+      const Time a = rng.uniformInt(0, horizon - 1);
+      t.addLoad(a, rng.uniformInt(a + 1, horizon), rng.uniformInt(1, 6));
+    }
+    const Time a = rng.uniformInt(0, horizon);
+    const Time b = rng.uniformInt(a, horizon); // may be empty (a == b)
+    const Time len = b - a;
+    const Time a2 = rng.uniformInt(0, horizon - len);
+    const Time b2 = a2 + len;
+    const Power work = rng.uniformInt(0, 5);
+
+    const auto segsBefore = t.numSegments();
+    const Cost peeked = t.peekMoveDelta(a, b, a2, b2, work);
+    EXPECT_EQ(t.numSegments(), segsBefore) << "peek split a segment";
+    EXPECT_EQ(peeked, t.moveDelta(a, b, a2, b2, work))
+        << "trial " << trial << ": move [" << a << "," << b << ") -> ["
+        << a2 << "," << b2 << ") work " << work;
+  }
+}
+
 TEST(PowerTimeline, RejectsOutOfHorizonLoads) {
   const PowerProfile p = PowerProfile::uniform(10, 5);
   PowerTimeline t(p, 0);

@@ -32,11 +32,12 @@ std::string submitAndWait(ServeServer& server, const std::string& line) {
   std::string response;
   bool got = false;
   server.submitLine(line, [&](const std::string& r) {
-    {
-      const std::scoped_lock lock(mutex);
-      response = r;
-      got = true;
-    }
+    // Notify while still holding the lock: the waiter owns cv and the
+    // flag on its stack, so it must not be able to wake, return and
+    // destroy them between our unlock and the notify.
+    const std::scoped_lock lock(mutex);
+    response = r;
+    got = true;
     cv.notify_one();
   });
   std::unique_lock lock(mutex);

@@ -71,5 +71,25 @@ TEST(Cli, RejectsPositionalArguments) {
   EXPECT_THROW(CliArgs(2, argv, {"tasks"}), PreconditionError);
 }
 
+TEST(Cli, ThreadsFlagParsesAndValidates) {
+  // The shared --threads convention: absent → fallback, explicit value
+  // passes through, 0 means "all hardware threads" and is legal as-is.
+  const char* argv[] = {"prog", "--threads=4"};
+  const CliArgs args(2, argv, {"threads"});
+  EXPECT_EQ(threadsFromArgs(args, "threads", 1), 4u);
+
+  const char* argv0[] = {"prog", "--threads=0"};
+  EXPECT_EQ(threadsFromArgs(CliArgs(2, argv0, {"threads"}), "threads", 1), 0u);
+
+  const char* none[] = {"prog"};
+  EXPECT_EQ(threadsFromArgs(CliArgs(1, none, {"threads"}), "threads", 3), 3u);
+}
+
+TEST(Cli, ThreadsFlagRejectsNegativeValues) {
+  const char* argv[] = {"prog", "--threads=-2"};
+  const CliArgs args(2, argv, {"threads"});
+  EXPECT_THROW(threadsFromArgs(args, "threads", 1), PreconditionError);
+}
+
 } // namespace
 } // namespace cawo

@@ -8,7 +8,7 @@
 //                 [--algo=<name|glob|comma list|all>] [--threads=N]
 //                 [--deadline-factor=2.0] [--nodes-per-type=2]
 //                 [--scenario=SPEC] [--intervals=24] [--alpha=0.5]
-//                 [--block-size=3] [--ls-radius=10]
+//                 [--block-size=3] [--ls-radius=10] [--ls-restarts=N]
 //                 [--bnb-max-nodes=N] [--bnb-time-limit=SEC]
 //                 [--out=schedule.csv] [--gantt] [--seed=1]
 //   cawosched-cli campaign [--campaign=<file>] [--out=results.json]
@@ -20,10 +20,10 @@
 //                 [--forecast=SPEC] [--actual=SPEC] [--policy=SPEC,...]
 //                 [--algo=NAME] [--runtime-noise=A] [--runtime-seed=N]
 //                 [--out=replay.json]
-//   cawosched-cli serve [--port=N] [--workers=N] [--queue-capacity=64]
-//                 [--cache-capacity=16] [--default-timeout-ms=0]
-//                 [--max-request-bytes=B] [--block-size=3]
-//                 [--ls-radius=10] [--quiet]
+//   cawosched-cli serve [--port=N] [--workers=N] [--threads=N]
+//                 [--queue-capacity=64] [--cache-capacity=16]
+//                 [--default-timeout-ms=0] [--max-request-bytes=B]
+//                 [--block-size=3] [--ls-radius=10] [--quiet]
 //
 // The workflow is HEFT-mapped onto a Table 1 cluster, the enhanced graph
 // is built, and every selected solver runs against the profile. Without
@@ -303,18 +303,22 @@ int listScenarios() {
 /// subcommand word. See docs/cli.md for a walkthrough.
 int runServeCommand(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
-                     {"help", "port", "workers", "queue-capacity",
-                      "cache-capacity", "default-timeout-ms",
-                      "max-request-bytes", "block-size", "ls-radius",
-                      "quiet"},
+                     {"help", "port", "workers", "threads",
+                      "queue-capacity", "cache-capacity",
+                      "default-timeout-ms", "max-request-bytes",
+                      "block-size", "ls-radius", "quiet"},
                      "cawosched-cli serve");
   if (args.has("help")) {
     std::cout
-        << "usage: cawosched-cli serve [--port=N] [--workers=N]\n"
+        << "usage: cawosched-cli serve [--port=N] [--workers=N] "
+           "[--threads=N]\n"
            "  [--queue-capacity=64] [--cache-capacity=16] "
            "[--default-timeout-ms=0]\n"
            "  [--max-request-bytes=1048576] [--block-size=3] "
            "[--ls-radius=10] [--quiet]\n"
+           "--workers sizes the request pool (0 = hardware); --threads "
+           "sets the default\nintra-solve thread budget per request "
+           "(0 = hardware; results never change).\n"
            "Long-running scheduler daemon: one JSON request per line on "
            "stdin, one JSON\nresponse per line on stdout "
            "(cawosched-serve-v1 — kinds: solve, replay, list,\nstats, "
@@ -339,6 +343,9 @@ int runServeCommand(int argc, const char* const* argv) {
       static_cast<std::size_t>(args.getInt("max-request-bytes", 1 << 20));
   options.solverDefaults.setInt("block-size", args.getInt("block-size", 3));
   options.solverDefaults.setInt("ls-radius", args.getInt("ls-radius", 10));
+  if (args.has("threads"))
+    options.solverDefaults.setInt("threads",
+                                  threadsFromArgs(args, "threads", 1));
 
   ServeServer server(options);
   std::unique_ptr<TcpServeListener> listener;
@@ -406,9 +413,9 @@ int main(int argc, char** argv) {
         argc, argv,
         {"workflow", "profile", "algo", "variant", "deadline-factor",
          "nodes-per-type", "scenario", "intervals", "green-heft", "alpha",
-         "block-size", "ls-radius", "bnb-max-nodes", "bnb-time-limit",
-         "threads", "list-algos", "list-scenarios", "out", "gantt", "seed",
-         "help"},
+         "block-size", "ls-radius", "ls-restarts", "ls-seed",
+         "bnb-max-nodes", "bnb-time-limit", "threads", "list-algos",
+         "list-scenarios", "out", "gantt", "seed", "help"},
         "cawosched-cli");
 
     if (args.has("list-algos")) return listAlgos();
@@ -420,7 +427,7 @@ int main(int argc, char** argv) {
              "  [--threads=N] [--deadline-factor=2.0] [--nodes-per-type=2] "
              "[--scenario=SPEC]\n"
              "  [--intervals=24] [--alpha=0.5] [--block-size=3] "
-             "[--ls-radius=10]\n"
+             "[--ls-radius=10] [--ls-restarts=N]\n"
              "  [--bnb-max-nodes=N] [--bnb-time-limit=SEC] "
              "[--out=schedule.csv] [--gantt] [--seed=1]\n"
              "  cawosched-cli --list-algos | --list-scenarios\n"
@@ -496,6 +503,10 @@ int main(int argc, char** argv) {
       options.setDouble("alpha", args.getDouble("alpha", 0.5));
     options.setInt("block-size", args.getInt("block-size", 3));
     options.setInt("ls-radius", args.getInt("ls-radius", 10));
+    if (args.has("ls-restarts"))
+      options.setInt("ls-restarts", args.getInt("ls-restarts", 1));
+    if (args.has("ls-seed"))
+      options.setInt("ls-seed", args.getInt("ls-seed", 0));
     if (args.has("bnb-max-nodes"))
       options.setInt("max-nodes", args.getInt("bnb-max-nodes", 0));
     if (args.has("bnb-time-limit"))
@@ -511,11 +522,15 @@ int main(int argc, char** argv) {
     request.platform = &cluster;
     request.options = options;
 
-    // Run the selection, optionally across threads. Solvers are
-    // independent and deterministic, so the parallelism only affects wall
-    // time, never results.
+    // Run the selection, optionally across threads (0 = hardware,
+    // negative rejected). Solvers are independent and deterministic, so
+    // the parallelism only affects wall time, never results. A
+    // multi-solver selection fans out across solvers; a single solver
+    // gets the budget as intra-solve threads instead (local-search
+    // restart fan-out and wide candidate scans — equally deterministic).
     std::vector<CliRun> runs(names.size());
-    const auto threads = static_cast<unsigned>(args.getInt("threads", 1));
+    const unsigned threads = threadsFromArgs(args, "threads", 1);
+    if (names.size() == 1) request.options.setInt("threads", threads);
     parallelFor(names.size(), threads, [&](std::size_t i) {
       runs[i].name = names[i];
       try {
