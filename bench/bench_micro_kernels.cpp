@@ -9,8 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "core/asap.hpp"
 #include "core/budget_tree.hpp"
@@ -23,6 +27,8 @@
 #include "core/power_timeline.hpp"
 #include "core/schedule.hpp"
 #include "core/solve_context.hpp"
+#include "exp/campaign.hpp"
+#include "exp/store.hpp"
 #include "heft/heft.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profile_source.hpp"
@@ -280,6 +286,128 @@ void BM_PowerTimelineMoveDelta(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowerTimelineMoveDelta);
+
+// -----------------------------------------------------------------------
+// Campaign result store: append throughput (records/s streamed through
+// the group-commit path) and query scan rate over a prebuilt store. The
+// records are fabricated — no solving — so the kernels isolate the store
+// itself at 10^4..10^6 cells. peak_rss_mb (getrusage high-water) is the
+// flat-memory evidence: it must not scale with the cell count. The perf
+// trajectory is recorded via --out=BENCH_store.json (see bench/README.md).
+// -----------------------------------------------------------------------
+CampaignSpec storeBenchSpec(std::int64_t targetCells) {
+  CampaignSpec spec;
+  spec.name = "bench-store";
+  spec.tasks = {40};
+  spec.scenarios = {"S1", "S2"};
+  spec.deadlineFactors = {1.5, 2.0};
+  spec.numIntervals = 8;
+  spec.algos = "ASAP,slack"; // 2 cells per instance, nothing is solved
+  const std::int64_t grid = 2 * 2; // instances per seed
+  const std::int64_t instances = (targetCells + 1) / 2;
+  spec.seeds.clear();
+  for (std::int64_t s = 0; s < (instances + grid - 1) / grid; ++s)
+    spec.seeds.push_back(static_cast<std::uint64_t>(s + 1));
+  return spec;
+}
+
+void fillFabricatedGroup(const InstanceSpec& ispec,
+                         const std::vector<std::string>& labels,
+                         std::vector<CampaignRecord>& group) {
+  for (std::size_t c = 0; c < labels.size(); ++c) {
+    CampaignRecord& r = group[c];
+    r.spec = ispec;
+    r.instance = ispec.label();
+    r.deadline = 100000;
+    r.asapMakespanD = 50000;
+    r.numNodes = 64;
+    r.instanceHash = instanceSpecHash(ispec);
+    r.lowerBound = 1000;
+    r.solver = labels[c];
+    r.cost = static_cast<Cost>(2000 + 13 * c + ispec.seed % 97);
+    r.wallMs = 1.25;
+    r.feasible = true;
+    r.hasBaseline = true;
+    r.baselineCost = 2000;
+    r.ratioVsBaseline =
+        static_cast<double>(r.cost) / static_cast<double>(r.baselineCost);
+  }
+}
+
+double peakRssMb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0; // KB on Linux
+}
+
+void BM_StoreAppend(benchmark::State& state) {
+  const CampaignSpec spec = storeBenchSpec(state.range(0));
+  const std::string dir = "/tmp/cawo_bench_store_append";
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    CampaignStoreWriter store(dir, spec);
+    std::vector<CampaignRecord> group(store.stride());
+    for (std::size_t i = 0; i < store.numInstances(); ++i) {
+      fillFabricatedGroup(store.instances()[i], store.cellLabels(), group);
+      store.appendInstance(i, group.data(), group.size());
+    }
+    store.flush();
+    cells = store.presentCells();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells));
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["peak_rss_mb"] = peakRssMb();
+}
+BENCHMARK(BM_StoreAppend)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+const std::string& prebuiltStore(std::int64_t targetCells) {
+  static std::map<std::int64_t, std::string> dirs;
+  const auto it = dirs.find(targetCells);
+  if (it != dirs.end()) return it->second;
+  const CampaignSpec spec = storeBenchSpec(targetCells);
+  const std::string dir =
+      "/tmp/cawo_bench_store_query_" + std::to_string(targetCells);
+  std::filesystem::remove_all(dir);
+  CampaignStoreWriter store(dir, spec);
+  std::vector<CampaignRecord> group(store.stride());
+  for (std::size_t i = 0; i < store.numInstances(); ++i) {
+    fillFabricatedGroup(store.instances()[i], store.cellLabels(), group);
+    store.appendInstance(i, group.data(), group.size());
+  }
+  store.flush();
+  return dirs.emplace(targetCells, dir).first->second;
+}
+
+void BM_StoreQuery(benchmark::State& state) {
+  CampaignStoreReader reader(prebuiltStore(state.range(0)));
+  StoreQuery query; // label glob + scenario prune, then parse the matches
+  query.solvers = {"sl*"};
+  query.scenarios = {"S2"};
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    matched = queryStore(reader, query,
+                         [](std::size_t, std::size_t,
+                            const CampaignRecord& r, const std::string&) {
+                           benchmark::DoNotOptimize(r.cost);
+                         });
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(matched));
+  state.counters["matched"] = static_cast<double>(matched);
+  state.counters["present"] = static_cast<double>(reader.presentCells());
+  state.counters["peak_rss_mb"] = peakRssMb();
+}
+BENCHMARK(BM_StoreQuery)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -258,6 +258,54 @@ CampaignSpec parseCampaignText(const std::string& text) {
   return spec;
 }
 
+std::string canonicalCampaignSpecJson(const CampaignSpec& spec) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.beginObject();
+  w.key("name").value(spec.name);
+  w.key("families");
+  w.beginArray();
+  for (const WorkflowFamily f : spec.families) w.value(familyName(f));
+  w.endArray();
+  w.key("tasks");
+  w.beginArray();
+  for (const int t : spec.tasks) w.value(t);
+  w.endArray();
+  w.key("bacass-tasks").value(spec.bacassTasks);
+  w.key("nodes-per-type");
+  w.beginArray();
+  for (const int n : spec.nodesPerType) w.value(n);
+  w.endArray();
+  w.key("scenarios");
+  w.beginArray();
+  for (const std::string& s : spec.scenarios) w.value(s);
+  w.endArray();
+  w.key("deadline-factors");
+  w.beginArray();
+  for (const double f : spec.deadlineFactors) w.value(f);
+  w.endArray();
+  w.key("seeds");
+  w.beginArray();
+  for (const std::uint64_t s : spec.seeds) w.value(s);
+  w.endArray();
+  w.key("intervals").value(spec.numIntervals);
+  w.key("algos").value(spec.algos);
+  // The online block only appears when active, mirroring the result
+  // header; "online" is written as 0/1 because the campaign-key JSON
+  // surface stringifies scalars (booleans are not in its vocabulary).
+  if (spec.online) {
+    w.key("online").value(1);
+    if (!spec.actual.empty()) w.key("actual").value(spec.actual);
+    w.key("policies");
+    w.beginArray();
+    for (const std::string& p : spec.policies) w.value(p);
+    w.endArray();
+    w.key("runtime-noise").value(spec.runtimeNoise);
+  }
+  w.endObject();
+  return out.str();
+}
+
 CampaignSpec parseCampaignFile(const std::string& path) {
   std::ifstream in(path);
   CAWO_REQUIRE(in.good(), "cannot open campaign file: " + path);
@@ -269,6 +317,18 @@ CampaignSpec parseCampaignFile(const std::string& path) {
 std::vector<std::string> campaignSolverNames(const CampaignSpec& spec) {
   if (spec.algos == "suite") return suiteSolverNames();
   return SolverRegistry::global().select(spec.algos);
+}
+
+std::vector<std::string> campaignCellLabels(const CampaignSpec& spec) {
+  const std::vector<std::string> solverNames = campaignSolverNames(spec);
+  if (!spec.online) return solverNames;
+  CAWO_REQUIRE(!spec.policies.empty(), "online campaign has no policies");
+  std::vector<std::string> labels;
+  labels.reserve(solverNames.size() * spec.policies.size());
+  for (const std::string& solver : solverNames)
+    for (const std::string& policy : spec.policies)
+      labels.push_back(solver + " @ " + policy);
+  return labels;
 }
 
 std::vector<InstanceSpec> expandCampaign(const CampaignSpec& spec) {

@@ -108,9 +108,24 @@ CampaignSpec parseCampaignText(const std::string& text);
 /// Read and parse a campaign file; throws on I/O errors.
 CampaignSpec parseCampaignFile(const std::string& path);
 
+/// Render the spec as a single-line JSON object in the `setCampaignKey`
+/// vocabulary: `parseCampaignText(canonicalCampaignSpecJson(s))` rebuilds
+/// the same spec, and two specs produce the same string iff they describe
+/// the same campaign. The result store's manifest pins the owning spec
+/// with it and rejects resume attempts under a different one. `threads` is
+/// deliberately omitted — worker count never changes what a campaign
+/// computes, so resuming with a different thread count is legal.
+std::string canonicalCampaignSpecJson(const CampaignSpec& spec);
+
 /// Resolve the spec's solver selection against the global registry.
 /// Throws PreconditionError when the selection matches nothing.
 std::vector<std::string> campaignSolverNames(const CampaignSpec& spec);
+
+/// The per-instance cell labels, in cell order: the resolved solver
+/// selection offline, the solver × policy cross-product ("solver @
+/// policy") in online mode. Every record surface — runner, result store,
+/// query filters — shares this one vocabulary.
+std::vector<std::string> campaignCellLabels(const CampaignSpec& spec);
 
 /// Expand the cross-product into instance specs, ordered
 /// family → tasks → nodes-per-type → seed → scenario → deadline factor

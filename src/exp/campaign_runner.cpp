@@ -12,6 +12,10 @@
 #include "core/instance_hash.hpp"
 #include "core/solve_context.hpp"
 #include "exp/json.hpp"
+#include "exp/record_json.hpp"
+#include "exp/record_sink.hpp"
+#include "exp/store.hpp"
+#include "exp/summary.hpp"
 #include "online/replay.hpp"
 #include "profile/profile_source.hpp"
 #include "sim/stats.hpp"
@@ -235,7 +239,40 @@ void runOnlineInstanceCell(const Instance& instance,
   assignBaselineRatios(records, solvers.size() * P);
 }
 
-std::vector<std::string> distinctScenarios(const CampaignSpec& spec) {
+/// An explicit actual is mutually exclusive with +noise forecast specs:
+/// the modifier is *the* forecast error, so combining both would
+/// silently change what the solvers plan against. Fail before any
+/// instance is built.
+void requireConsistentOnlineSpec(const CampaignSpec& spec) {
+  if (!spec.online || spec.actual.empty()) return;
+  for (const std::string& scenario : spec.scenarios) {
+    CAWO_REQUIRE(!ProfileSpec::parse(scenario).hasNoise,
+                 "online campaign: scenario spec \"" + scenario +
+                     "\" carries a +noise modifier (read as forecast "
+                     "error) AND actual=\"" + spec.actual +
+                     "\" is set — drop one of the two");
+  }
+}
+
+/// Build + solve one instance's whole cell group into `records`
+/// (length == stride), dispatching on the campaign mode.
+void solveInstanceCells(const InstanceSpec& cell, const CampaignSpec& spec,
+                        const std::vector<std::string>& solverNames,
+                        const std::vector<std::string>& cellLabels,
+                        const SolverOptions& options, InstanceResult& result,
+                        CampaignRecord* records) {
+  const Instance instance = buildInstance(cell);
+  if (spec.online) {
+    runOnlineInstanceCell(instance, solverNames, spec, options, result,
+                          records);
+  } else {
+    runInstanceCell(instance, cellLabels, options, result, records);
+  }
+}
+
+} // namespace
+
+std::vector<std::string> campaignDistinctScenarios(const CampaignSpec& spec) {
   std::vector<std::string> out;
   const auto have = [&](const std::string& s) {
     return std::find(out.begin(), out.end(), s) != out.end();
@@ -253,83 +290,19 @@ std::vector<std::string> distinctScenarios(const CampaignSpec& spec) {
   return out;
 }
 
-std::vector<SolverSummary> summarise(const CampaignOutcome& outcome) {
-  const std::size_t S = outcome.solvers.size();
-  const std::size_t I = outcome.records.size() / std::max<std::size_t>(S, 1);
-  std::vector<SolverSummary> summaries(S);
-
-  // Per-instance minimum over the cells that ran *feasibly* (for win
-  // counting): an infeasible solve's cost is meaningless and must not
-  // claim wins or drag the aggregates.
-  std::vector<Cost> minCost(I, std::numeric_limits<Cost>::max());
-  for (std::size_t i = 0; i < I; ++i)
-    for (std::size_t s = 0; s < S; ++s) {
-      const CampaignRecord& r = outcome.records[i * S + s];
-      if (!r.skipped && r.feasible && r.cost < minCost[i]) minCost[i] = r.cost;
-    }
-
-  for (std::size_t s = 0; s < S; ++s) {
-    SolverSummary& summary = summaries[s];
-    summary.solver = outcome.solvers[s];
-    std::vector<double> ratios;
-    std::vector<std::vector<double>> byScenario(outcome.scenarios.size());
-    for (std::size_t i = 0; i < I; ++i) {
-      const CampaignRecord& r = outcome.records[i * S + s];
-      if (r.skipped) continue;
-      ++summary.instances;
-      summary.totalWallMs += r.wallMs;
-      if (r.feasible && r.cost == minCost[i]) ++summary.wins;
-      if (!std::isnan(r.ratioVsBaseline)) {
-        ratios.push_back(r.ratioVsBaseline);
-        for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc)
-          if (outcome.scenarios[sc] == r.spec.scenario)
-            byScenario[sc].push_back(r.ratioVsBaseline);
-      }
-    }
-    summary.medianRatio = ratios.empty() ? quietNaN() : medianOf(ratios);
-    summary.meanRatio = ratios.empty() ? quietNaN() : meanOf(ratios);
-    summary.medianRatioByScenario.resize(outcome.scenarios.size());
-    for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc)
-      summary.medianRatioByScenario[sc] =
-          byScenario[sc].empty() ? quietNaN() : medianOf(byScenario[sc]);
-  }
-  return summaries;
-}
-
-} // namespace
-
 CampaignOutcome runCampaign(const CampaignSpec& spec,
                             const SolverOptions& options,
                             const CampaignProgress& progress) {
   CampaignOutcome outcome;
   outcome.spec = spec;
-  outcome.scenarios = distinctScenarios(spec);
-
-  // An explicit actual is mutually exclusive with +noise forecast specs:
-  // the modifier is *the* forecast error, so combining both would
-  // silently change what the solvers plan against. Fail before any
-  // instance is built.
-  if (spec.online && !spec.actual.empty()) {
-    for (const std::string& scenario : spec.scenarios) {
-      CAWO_REQUIRE(!ProfileSpec::parse(scenario).hasNoise,
-                   "online campaign: scenario spec \"" + scenario +
-                       "\" carries a +noise modifier (read as forecast "
-                       "error) AND actual=\"" + spec.actual +
-                       "\" is set — drop one of the two");
-    }
-  }
+  outcome.scenarios = campaignDistinctScenarios(spec);
+  requireConsistentOnlineSpec(spec);
 
   // Per-instance cell labels: the plain solver selection offline, the
   // solver × policy cross-product online ("solver @ policy").
   const std::vector<std::string> solverNames = campaignSolverNames(spec);
-  if (spec.online) {
-    outcome.policies = spec.policies;
-    for (const std::string& solver : solverNames)
-      for (const std::string& policy : spec.policies)
-        outcome.solvers.push_back(solver + " @ " + policy);
-  } else {
-    outcome.solvers = solverNames;
-  }
+  outcome.solvers = campaignCellLabels(spec);
+  if (spec.online) outcome.policies = spec.policies;
 
   const std::vector<InstanceSpec> instances = expandCampaign(spec);
   const std::size_t S = outcome.solvers.size();
@@ -337,116 +310,83 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
   outcome.results.resize(instances.size());
   outcome.records.resize(totalCells);
 
+  // The legacy in-memory path is now "runner → MemoryRecordSink": workers
+  // solve into a local cell group and hand it over, exactly like the
+  // store-backed path hands groups to CampaignStoreWriter.
+  MemoryRecordSink sink(outcome.records, S);
   std::atomic<std::size_t> done{0};
   parallelFor(instances.size(), spec.threads, [&](std::size_t i) {
-    const Instance instance = buildInstance(instances[i]);
-    if (spec.online) {
-      runOnlineInstanceCell(instance, solverNames, spec, options,
-                            outcome.results[i],
-                            outcome.records.data() + i * S);
-    } else {
-      runInstanceCell(instance, outcome.solvers, options, outcome.results[i],
-                      outcome.records.data() + i * S);
-    }
+    std::vector<CampaignRecord> group(S);
+    solveInstanceCells(instances[i], spec, solverNames, outcome.solvers,
+                       options, outcome.results[i], group.data());
+    sink.appendInstance(i, group.data(), S);
     if (progress) progress(done.fetch_add(S) + S, totalCells);
   });
 
-  outcome.summaries = summarise(outcome);
+  SummaryAccumulator accumulator(outcome.solvers, outcome.scenarios);
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    accumulator.addInstance(outcome.records.data() + i * S, S);
+  outcome.summaries = accumulator.finish();
   return outcome;
+}
+
+CampaignRunStats runCampaignToStore(const SolverOptions& options,
+                                    CampaignStoreWriter& store,
+                                    const CampaignProgress& progress,
+                                    std::size_t maxCells) {
+  const CampaignSpec& spec = store.spec();
+  requireConsistentOnlineSpec(spec);
+  const std::vector<std::string> solverNames = campaignSolverNames(spec);
+  const std::vector<std::string>& cellLabels = store.cellLabels();
+  const std::vector<InstanceSpec>& instances = store.instances();
+  const std::size_t S = store.stride();
+
+  CampaignRunStats stats;
+  stats.totalCells = instances.size() * S;
+  stats.shardCells = store.shardCells();
+  stats.presentBefore = store.presentCells();
+
+  // Resume = set subtraction: of the instances this shard owns, only
+  // those with missing cells are built and solved at all.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    if (store.ownsInstance(i) && !store.instanceDone(i)) pending.push_back(i);
+  if (maxCells > 0) {
+    const std::size_t cap = (maxCells + S - 1) / S;
+    if (pending.size() > cap) {
+      pending.resize(cap);
+      stats.cappedByMaxCells = true;
+    }
+  }
+
+  const std::size_t cellsToDo = pending.size() * S;
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> appended{0};
+  parallelFor(pending.size(), spec.threads, [&](std::size_t k) {
+    const std::size_t i = pending[k];
+    std::size_t missing = 0;
+    for (std::size_t c = 0; c < S; ++c)
+      if (!store.cellPresent(i, c)) ++missing;
+    std::vector<CampaignRecord> group(S);
+    InstanceResult result; // the store path keeps no per-instance results
+    solveInstanceCells(instances[i], spec, solverNames, cellLabels, options,
+                       result, group.data());
+    store.appendInstance(i, group.data(), S);
+    appended.fetch_add(missing);
+    if (progress) progress(done.fetch_add(S) + S, cellsToDo);
+  });
+  store.flush();
+
+  stats.cellsSolved = appended.load();
+  stats.instancesSolved = pending.size();
+  return stats;
 }
 
 namespace {
 
-void writeRecord(JsonWriter& w, const CampaignRecord& r) {
-  w.compactNext();
-  w.beginObject();
-  w.key("instance").value(r.instance);
-  w.key("family").value(familyName(r.spec.family));
-  w.key("tasks").value(r.spec.targetTasks);
-  w.key("nodes_per_type").value(r.spec.nodesPerType);
-  w.key("scenario").value(r.spec.scenario); // the spec string, verbatim
-  w.key("deadline_factor").value(r.spec.deadlineFactor);
-  w.key("seed").value(static_cast<std::uint64_t>(r.spec.seed));
-  w.key("intervals").value(r.spec.numIntervals);
-  w.key("deadline").value(static_cast<std::int64_t>(r.deadline));
-  w.key("asap_makespan").value(static_cast<std::int64_t>(r.asapMakespanD));
-  w.key("num_nodes").value(static_cast<std::int64_t>(r.numNodes));
-  // 16 hex digits, not a JSON number: uint64 does not round-trip through
-  // double-backed JSON parsers.
-  w.key("instance_hash").value(instanceHashHex(r.instanceHash));
-  w.key("solver").value(r.solver);
-  if (r.skipped) {
-    w.key("cost").null();
-    w.key("wall_ms").null();
-  } else {
-    w.key("cost").value(static_cast<std::int64_t>(r.cost));
-    w.key("wall_ms").value(r.wallMs);
-  }
-  w.key("lower_bound").value(static_cast<std::int64_t>(r.lowerBound));
-  if (!r.hasBaseline) w.key("baseline_cost").null();
-  else w.key("baseline_cost").value(static_cast<std::int64_t>(r.baselineCost));
-  if (std::isnan(r.ratioVsBaseline)) w.key("ratio_vs_baseline").null();
-  else w.key("ratio_vs_baseline").value(r.ratioVsBaseline);
-  w.key("feasible").value(r.feasible);
-  w.key("proved_optimal").value(r.provedOptimal);
-  w.key("skipped").value(r.skipped);
-  // Phase split + local-search diagnostics (appended in schema v1:
-  // consumers key on presence, null means "not a phased/LS solver").
-  if (!r.hasPhaseSplit) w.key("greedy_ms").null();
-  else w.key("greedy_ms").value(r.greedyMs);
-  if (!r.hasLocalSearch) {
-    w.key("ls_ms").null();
-    w.key("ls_rounds").null();
-    w.key("ls_moves").null();
-    w.key("ls_initial_cost").null();
-    w.key("ls_final_cost").null();
-  } else {
-    w.key("ls_ms").value(r.lsMs);
-    w.key("ls_rounds").value(r.lsRounds);
-    w.key("ls_moves").value(r.lsMoves);
-    w.key("ls_initial_cost").value(static_cast<std::int64_t>(r.lsInitialCost));
-    w.key("ls_final_cost").value(static_cast<std::int64_t>(r.lsFinalCost));
-  }
-  // Online replay fields: only present in online-mode records, so the
-  // offline record schema stays byte-identical (golden-tested).
-  if (r.hasOnline) {
-    w.key("policy").value(r.policy);
-    if (r.actualScenario.empty()) w.key("actual_scenario").null();
-    else w.key("actual_scenario").value(r.actualScenario);
-    if (r.skipped) {
-      w.key("forecast_cost").null();
-      w.key("clairvoyant_cost").null();
-      w.key("regret").null();
-      w.key("regret_ratio").null();
-      w.key("resolves").null();
-      w.key("resolves_accepted").null();
-      w.key("resolve_wall_ms").null();
-      w.key("deadline_met").null();
-      w.key("finish_time").null();
-    } else {
-      w.key("forecast_cost").value(static_cast<std::int64_t>(r.forecastCost));
-      if (!r.clairvoyantFeasible) {
-        w.key("clairvoyant_cost").null();
-        w.key("regret").null();
-      } else {
-        w.key("clairvoyant_cost")
-            .value(static_cast<std::int64_t>(r.clairvoyantCost));
-        w.key("regret").value(static_cast<std::int64_t>(r.regret));
-      }
-      if (std::isnan(r.regretRatio)) w.key("regret_ratio").null();
-      else w.key("regret_ratio").value(r.regretRatio);
-      w.key("resolves").value(r.resolves);
-      w.key("resolves_accepted").value(r.resolvesAccepted);
-      w.key("resolve_wall_ms").value(r.resolveWallMs);
-      w.key("deadline_met").value(r.deadlineMet);
-      w.key("finish_time").value(static_cast<std::int64_t>(r.finishTime));
-    }
-  }
-  w.endObject();
-}
-
-void writeSummary(JsonWriter& w, const CampaignOutcome& outcome,
-                  const SolverSummary& s) {
+void writeSummaryEntry(JsonWriter& w,
+                       const std::vector<std::string>& scenarios,
+                       const SolverSummary& s) {
   w.compactNext();
   w.beginObject();
   w.key("solver").value(s.solver);
@@ -459,8 +399,8 @@ void writeSummary(JsonWriter& w, const CampaignOutcome& outcome,
   w.key("total_wall_ms").value(s.totalWallMs);
   w.key("median_ratio_by_scenario");
   w.beginObject();
-  for (std::size_t sc = 0; sc < outcome.scenarios.size(); ++sc) {
-    w.key(outcome.scenarios[sc]);
+  for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+    w.key(scenarios[sc]);
     if (std::isnan(s.medianRatioByScenario[sc])) w.null();
     else w.value(s.medianRatioByScenario[sc]);
   }
@@ -468,14 +408,9 @@ void writeSummary(JsonWriter& w, const CampaignOutcome& outcome,
   w.endObject();
 }
 
-} // namespace
-
-void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
-  const CampaignSpec& spec = outcome.spec;
-  JsonWriter w(out);
-  w.beginObject();
-  w.key("schema").value(kSchemaId);
-
+void writeCampaignHeader(JsonWriter& w, const CampaignSpec& spec,
+                         const std::vector<std::string>& solvers,
+                         std::size_t numInstances) {
   w.key("campaign");
   w.beginObject();
   w.key("name").value(spec.name);
@@ -528,21 +463,30 @@ void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
   w.key("solvers");
   w.compactNext();
   w.beginArray();
-  for (const std::string& s : outcome.solvers) w.value(s);
+  for (const std::string& s : solvers) w.value(s);
   w.endArray();
-  w.key("num_instances")
-      .value(static_cast<std::int64_t>(outcome.results.size()));
+  w.key("num_instances").value(static_cast<std::int64_t>(numInstances));
   w.endObject();
+}
+
+} // namespace
+
+void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome) {
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value(kSchemaId);
+  writeCampaignHeader(w, outcome.spec, outcome.solvers,
+                      outcome.results.size());
 
   w.key("records");
   w.beginArray();
-  for (const CampaignRecord& r : outcome.records) writeRecord(w, r);
+  for (const CampaignRecord& r : outcome.records) writeCampaignRecord(w, r);
   w.endArray();
 
   w.key("summary");
   w.beginArray();
   for (const SolverSummary& s : outcome.summaries)
-    writeSummary(w, outcome, s);
+    writeSummaryEntry(w, outcome.scenarios, s);
   w.endArray();
 
   w.endObject();
@@ -561,6 +505,86 @@ void writeCampaignJsonFile(const std::string& path,
   CAWO_REQUIRE(out.good(), "cannot open result file for writing: " + path);
   writeCampaignJson(out, outcome);
   CAWO_REQUIRE(out.good(), "failed writing result file: " + path);
+}
+
+void writeCampaignJsonFromStore(std::ostream& out,
+                                CampaignStoreReader& reader) {
+  CAWO_REQUIRE(reader.complete(),
+               "store is incomplete (" +
+                   std::to_string(reader.presentCells()) + " of " +
+                   std::to_string(reader.totalCells()) +
+                   " cells present) — run the remaining shards/cells before "
+                   "exporting a document");
+  const CampaignSpec& spec = reader.spec();
+  const std::vector<std::string> scenarios = campaignDistinctScenarios(spec);
+  SummaryAccumulator accumulator(reader.cellLabels(), scenarios);
+
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value(kSchemaId);
+  writeCampaignHeader(w, spec, reader.cellLabels(), reader.numInstances());
+
+  // Record lines are spliced in verbatim from the segments — the store's
+  // byte contract (record_json) makes them identical to what the legacy
+  // writer would have produced; the accumulator sees each instance group
+  // in expansion order, so the summary is bit-identical too. Memory stays
+  // O(one instance group).
+  w.key("records");
+  w.beginArray();
+  const std::size_t S = reader.stride();
+  std::vector<CampaignRecord> group(S);
+  for (std::size_t i = 0; i < reader.numInstances(); ++i) {
+    for (std::size_t c = 0; c < S; ++c) {
+      const std::string line = reader.readCellLine(i, c);
+      w.rawValue(line);
+      group[c] = parseCampaignRecordLine(line);
+    }
+    accumulator.addInstance(group.data(), S);
+  }
+  w.endArray();
+
+  w.key("summary");
+  w.beginArray();
+  for (const SolverSummary& s : accumulator.finish())
+    writeSummaryEntry(w, scenarios, s);
+  w.endArray();
+
+  w.endObject();
+  out << '\n';
+}
+
+void writeCampaignJsonFileFromStore(const std::string& path,
+                                    CampaignStoreReader& reader) {
+  std::ofstream out(path);
+  CAWO_REQUIRE(out.good(), "cannot open result file for writing: " + path);
+  writeCampaignJsonFromStore(out, reader);
+  CAWO_REQUIRE(out.good(), "failed writing result file: " + path);
+}
+
+CampaignOutcome summariseStore(CampaignStoreReader& reader) {
+  CAWO_REQUIRE(reader.complete(),
+               "store is incomplete (" +
+                   std::to_string(reader.presentCells()) + " of " +
+                   std::to_string(reader.totalCells()) +
+                   " cells present) — a partial sweep has no meaningful "
+                   "summary");
+  CampaignOutcome outcome;
+  outcome.spec = reader.spec();
+  outcome.solvers = reader.cellLabels();
+  if (outcome.spec.online) outcome.policies = outcome.spec.policies;
+  outcome.scenarios = campaignDistinctScenarios(outcome.spec);
+  outcome.results.resize(reader.numInstances()); // sizes only; no records
+
+  SummaryAccumulator accumulator(outcome.solvers, outcome.scenarios);
+  const std::size_t S = reader.stride();
+  std::vector<CampaignRecord> group(S);
+  for (std::size_t i = 0; i < reader.numInstances(); ++i) {
+    for (std::size_t c = 0; c < S; ++c)
+      group[c] = parseCampaignRecordLine(reader.readCellLine(i, c));
+    accumulator.addInstance(group.data(), S);
+  }
+  outcome.summaries = accumulator.finish();
+  return outcome;
 }
 
 void printCampaignSummary(std::ostream& out, const CampaignOutcome& outcome,

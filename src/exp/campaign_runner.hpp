@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "exp/record.hpp"
 #include "sim/runner.hpp"
 #include "solver/solver.hpp"
 
@@ -17,91 +18,20 @@
 /// and solves them with `parallelFor` sharding over *instances* (each shard
 /// runs the full solver selection on its instance, exactly like the suite
 /// runner, so campaign costs match `runAllOnInstance` bit for bit), and
-/// produces:
-///   * one `CampaignRecord` per (instance, solver) cell — carbon cost,
-///     schedule-independent lower bound, ratio vs the baseline solver,
-///     wall time and validity;
-///   * per-solver `SolverSummary` aggregates — win counts, median/mean
-///     ratios, per-scenario median ratios (via sim/stats);
-///   * a single JSON document bundling campaign, records and summaries.
+/// hands each finished instance's cell group to a `RecordSink`
+/// (exp/record_sink.hpp):
+///   * `runCampaign` feeds a `MemoryRecordSink` — the legacy batch-in-RAM
+///     path producing a `CampaignOutcome` with every record;
+///   * `runCampaignToStore` feeds a `CampaignStoreWriter` (exp/store.hpp)
+///     — the streaming out-of-core path for production-scale sweeps, with
+///     resume (only missing cells are solved) and multi-process sharding.
+/// Both paths produce byte-identical final JSON documents on the same
+/// spec; the summaries come from the shared `SummaryAccumulator`.
 
 namespace cawo {
 
-/// One (instance, solver) result cell of a campaign.
-struct CampaignRecord {
-  InstanceSpec spec;        ///< the instance's axes
-  std::string instance;     ///< InstanceSpec::label()
-  Time deadline = 0;        ///< ceil(deadlineFactor · D)
-  Time asapMakespanD = 0;   ///< the paper's D
-  TaskId numNodes = 0;      ///< enhanced-graph nodes (incl. comm tasks)
-  /// Canonical 64-bit instance hash (core/instance_hash) — written as 16
-  /// hex digits so records for the same built instance can be joined
-  /// across campaigns (and against serve responses) without re-building.
-  std::uint64_t instanceHash = 0;
-  Cost lowerBound = 0;      ///< carbonLowerBound of the instance
-
-  std::string solver;       ///< registry name as selected
-  Cost cost = 0;
-  double wallMs = 0.0;
-  bool feasible = false;    ///< schedule validated against the deadline
-  bool provedOptimal = false;
-  bool skipped = false;     ///< capability mismatch — no run happened
-  /// Cost of the baseline (first selected solver) on the same instance;
-  /// meaningful only when `hasBaseline` — written as null in JSON
-  /// otherwise (0 is a legitimate cost, not a sentinel).
-  Cost baselineCost = 0;
-  /// True when the baseline solver ran feasibly on this instance.
-  bool hasBaseline = false;
-  /// cost / baselineCost; NaN when undefined (no feasible baseline,
-  /// baseline 0 with own cost > 0, own solve infeasible, or the cell was
-  /// skipped). Written as null in JSON.
-  double ratioVsBaseline = 0.0;
-
-  /// Greedy/local-search phase split, harvested from the solver stats map
-  /// ("greedy-us"/"ls-us"): present for CaWoSched-style solvers
-  /// (`hasPhaseSplit`), null in JSON otherwise. `lsMs` and the
-  /// `LocalSearchStats` mirror below are only meaningful for -LS variants
-  /// (`hasLocalSearch`).
-  bool hasPhaseSplit = false;
-  double greedyMs = 0.0;
-  double lsMs = 0.0;
-  bool hasLocalSearch = false;
-  std::int64_t lsRounds = 0;      ///< rounds incl. the final gainless one
-  std::int64_t lsMoves = 0;       ///< improving moves applied
-  Cost lsInitialCost = 0;         ///< carbon cost entering local search
-  Cost lsFinalCost = 0;           ///< carbon cost leaving local search
-
-  /// Online replay fields (campaign `online` mode): present iff
-  /// `hasOnline`, null/absent in offline records — the offline JSON
-  /// schema is byte-stable. In online records `cost` is the *actual*
-  /// (billed) cost and `feasible` means "ran and met the deadline".
-  bool hasOnline = false;
-  std::string policy;          ///< rescheduling policy spec
-  std::string actualScenario;  ///< actual-profile spec ("" = pair)
-  Cost forecastCost = 0;       ///< offline plan cost vs the forecast
-  Cost clairvoyantCost = 0;    ///< same solver solved against actuals
-  bool clairvoyantFeasible = false;
-  Cost regret = 0;             ///< cost − clairvoyantCost
-  double regretRatio = 0.0;    ///< cost / clairvoyantCost; NaN undefined
-  std::int64_t resolves = 0;   ///< re-solve attempts
-  std::int64_t resolvesAccepted = 0;
-  double resolveWallMs = 0.0;  ///< Σ wall time over re-solves
-  bool deadlineMet = false;
-  Time finishTime = 0;
-};
-
-/// Per-solver aggregate over every instance the solver ran on.
-struct SolverSummary {
-  std::string solver;
-  int instances = 0;   ///< cells actually run (not skipped)
-  int wins = 0;        ///< cells with the minimum cost (ties count for all)
-  double medianRatio = 0.0; ///< median cost ratio vs the baseline solver
-  double meanRatio = 0.0;
-  double totalWallMs = 0.0;
-  /// Median ratio restricted to each scenario that occurs in the campaign,
-  /// aligned with CampaignOutcome::scenarios.
-  std::vector<double> medianRatioByScenario;
-};
+class CampaignStoreReader;
+class CampaignStoreWriter;
 
 /// Everything a campaign run produced.
 struct CampaignOutcome {
@@ -123,6 +53,12 @@ struct CampaignOutcome {
 /// Progress callback: (cells finished, total cells).
 using CampaignProgress = std::function<void(std::size_t, std::size_t)>;
 
+/// Distinct scenario specs of a campaign in document order: the paper's
+/// S1..S4 first (canonical order), then any other specs in
+/// first-appearance order. Shared by the runner, the store export and the
+/// `query` summary view.
+std::vector<std::string> campaignDistinctScenarios(const CampaignSpec& spec);
+
 /// Run the whole campaign. Instances are built and solved in parallel
 /// (`spec.threads`, 0 = hardware concurrency); records are ordered
 /// instance-major in expansion order, so the output is deterministic
@@ -132,6 +68,34 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
                             const SolverOptions& options = {},
                             const CampaignProgress& progress = {});
 
+/// Per-run counters of a store-backed campaign run: how much work the
+/// shard owned, how much was already durable (resume), how much this run
+/// actually solved. The resume contract is asserted on these — a resumed
+/// run must report `cellsSolved == shardCells - presentBefore`.
+struct CampaignRunStats {
+  std::size_t totalCells = 0;     ///< whole campaign, all shards
+  std::size_t shardCells = 0;     ///< cells this shard owns
+  std::size_t presentBefore = 0;  ///< owned cells already durable at open
+  /// Cells newly made durable by this run — after a torn-tail recovery an
+  /// instance re-solves whole but only its missing cells are appended.
+  std::size_t cellsSolved = 0;
+  std::size_t instancesSolved = 0;///< instances solved by this run
+  bool cappedByMaxCells = false;  ///< stopped early by the maxCells cap
+};
+
+/// Run (the missing part of) the store's campaign into its shard. Only
+/// instances the shard owns and that are not yet fully present are built
+/// and solved; everything else is skipped without touching a workflow.
+/// `maxCells > 0` caps this run to the first ceil(maxCells/stride)
+/// pending instances in expansion order — a deterministic interruption
+/// point for crash/resume testing and incremental sweeps. The progress
+/// callback sees (cells done this run, cells to do this run). The store
+/// is flushed before returning.
+CampaignRunStats runCampaignToStore(const SolverOptions& options,
+                                    CampaignStoreWriter& store,
+                                    const CampaignProgress& progress = {},
+                                    std::size_t maxCells = 0);
+
 /// Write the outcome as one JSON document: a `campaign` header object, a
 /// `records` array (one single-line object per cell — grep-friendly, still
 /// one valid document) and a `summary` array.
@@ -139,6 +103,20 @@ void writeCampaignJson(std::ostream& out, const CampaignOutcome& outcome);
 std::string toCampaignJsonString(const CampaignOutcome& outcome);
 void writeCampaignJsonFile(const std::string& path,
                            const CampaignOutcome& outcome);
+
+/// The same document, assembled from a complete store: record lines are
+/// spliced in verbatim from the segments (never re-serialized) and the
+/// summaries recomputed with the streaming accumulator, so the bytes
+/// equal the legacy in-memory path's on the same spec. Throws when the
+/// store is incomplete — a partial sweep has no meaningful summary.
+void writeCampaignJsonFromStore(std::ostream& out,
+                                CampaignStoreReader& reader);
+void writeCampaignJsonFileFromStore(const std::string& path,
+                                    CampaignStoreReader& reader);
+
+/// Summarise a complete store into a record-free outcome (records stay on
+/// disk) — what `printCampaignSummary` needs, without O(cells) memory.
+CampaignOutcome summariseStore(CampaignStoreReader& reader);
 
 /// Print the per-solver summary table; with `perScenario` also one median-
 /// ratio table per scenario (the Figure 15 view).

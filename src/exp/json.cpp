@@ -159,6 +159,11 @@ void JsonWriter::null() {
   out_ << "null";
 }
 
+void JsonWriter::rawValue(const std::string& json) {
+  separator();
+  out_ << json;
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------

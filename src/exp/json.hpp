@@ -68,6 +68,13 @@ public:
   void value(bool v);
   void null();
 
+  /// Splice pre-serialized JSON in as the next value, verbatim. The
+  /// separator/indentation logic runs as for any value, but the payload
+  /// bytes are the caller's — this is how the result store's segment
+  /// lines (already exact record JSON) are merged into a document without
+  /// a parse/re-serialize cycle that could perturb bytes.
+  void rawValue(const std::string& json);
+
   /// Emit the next container (and everything inside it) on a single line.
   void compactNext() { compactDepth_ = depth_ + 1; }
 

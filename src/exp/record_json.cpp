@@ -1,0 +1,198 @@
+#include "exp/record_json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "core/instance_hash.hpp"
+#include "exp/json.hpp"
+#include "util/require.hpp"
+#include "workflow/generators.hpp"
+
+namespace cawo {
+
+void writeCampaignRecord(JsonWriter& w, const CampaignRecord& r) {
+  w.compactNext();
+  w.beginObject();
+  w.key("instance").value(r.instance);
+  w.key("family").value(familyName(r.spec.family));
+  w.key("tasks").value(r.spec.targetTasks);
+  w.key("nodes_per_type").value(r.spec.nodesPerType);
+  w.key("scenario").value(r.spec.scenario); // the spec string, verbatim
+  w.key("deadline_factor").value(r.spec.deadlineFactor);
+  w.key("seed").value(static_cast<std::uint64_t>(r.spec.seed));
+  w.key("intervals").value(r.spec.numIntervals);
+  w.key("deadline").value(static_cast<std::int64_t>(r.deadline));
+  w.key("asap_makespan").value(static_cast<std::int64_t>(r.asapMakespanD));
+  w.key("num_nodes").value(static_cast<std::int64_t>(r.numNodes));
+  // 16 hex digits, not a JSON number: uint64 does not round-trip through
+  // double-backed JSON parsers.
+  w.key("instance_hash").value(instanceHashHex(r.instanceHash));
+  w.key("solver").value(r.solver);
+  if (r.skipped) {
+    w.key("cost").null();
+    w.key("wall_ms").null();
+  } else {
+    w.key("cost").value(static_cast<std::int64_t>(r.cost));
+    w.key("wall_ms").value(r.wallMs);
+  }
+  w.key("lower_bound").value(static_cast<std::int64_t>(r.lowerBound));
+  if (!r.hasBaseline) w.key("baseline_cost").null();
+  else w.key("baseline_cost").value(static_cast<std::int64_t>(r.baselineCost));
+  if (std::isnan(r.ratioVsBaseline)) w.key("ratio_vs_baseline").null();
+  else w.key("ratio_vs_baseline").value(r.ratioVsBaseline);
+  w.key("feasible").value(r.feasible);
+  w.key("proved_optimal").value(r.provedOptimal);
+  w.key("skipped").value(r.skipped);
+  // Phase split + local-search diagnostics (appended in schema v1:
+  // consumers key on presence, null means "not a phased/LS solver").
+  if (!r.hasPhaseSplit) w.key("greedy_ms").null();
+  else w.key("greedy_ms").value(r.greedyMs);
+  if (!r.hasLocalSearch) {
+    w.key("ls_ms").null();
+    w.key("ls_rounds").null();
+    w.key("ls_moves").null();
+    w.key("ls_initial_cost").null();
+    w.key("ls_final_cost").null();
+  } else {
+    w.key("ls_ms").value(r.lsMs);
+    w.key("ls_rounds").value(r.lsRounds);
+    w.key("ls_moves").value(r.lsMoves);
+    w.key("ls_initial_cost").value(static_cast<std::int64_t>(r.lsInitialCost));
+    w.key("ls_final_cost").value(static_cast<std::int64_t>(r.lsFinalCost));
+  }
+  // Online replay fields: only present in online-mode records, so the
+  // offline record schema stays byte-identical (golden-tested).
+  if (r.hasOnline) {
+    w.key("policy").value(r.policy);
+    if (r.actualScenario.empty()) w.key("actual_scenario").null();
+    else w.key("actual_scenario").value(r.actualScenario);
+    if (r.skipped) {
+      w.key("forecast_cost").null();
+      w.key("clairvoyant_cost").null();
+      w.key("regret").null();
+      w.key("regret_ratio").null();
+      w.key("resolves").null();
+      w.key("resolves_accepted").null();
+      w.key("resolve_wall_ms").null();
+      w.key("deadline_met").null();
+      w.key("finish_time").null();
+    } else {
+      w.key("forecast_cost").value(static_cast<std::int64_t>(r.forecastCost));
+      if (!r.clairvoyantFeasible) {
+        w.key("clairvoyant_cost").null();
+        w.key("regret").null();
+      } else {
+        w.key("clairvoyant_cost")
+            .value(static_cast<std::int64_t>(r.clairvoyantCost));
+        w.key("regret").value(static_cast<std::int64_t>(r.regret));
+      }
+      if (std::isnan(r.regretRatio)) w.key("regret_ratio").null();
+      else w.key("regret_ratio").value(r.regretRatio);
+      w.key("resolves").value(r.resolves);
+      w.key("resolves_accepted").value(r.resolvesAccepted);
+      w.key("resolve_wall_ms").value(r.resolveWallMs);
+      w.key("deadline_met").value(r.deadlineMet);
+      w.key("finish_time").value(static_cast<std::int64_t>(r.finishTime));
+    }
+  }
+  w.endObject();
+}
+
+std::string campaignRecordJsonLine(const CampaignRecord& r) {
+  // compactNext() inside writeCampaignRecord puts the whole object on one
+  // line; at depth 0 there is no separator or indent before the '{', so
+  // the standalone bytes equal the in-document bytes exactly.
+  std::ostringstream out;
+  JsonWriter w(out);
+  writeCampaignRecord(w, r);
+  return out.str();
+}
+
+namespace {
+
+double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double numberOrNaN(const JsonValue& v) {
+  return v.isNull() ? quietNaN() : v.asDouble();
+}
+
+std::uint64_t parseHashHex(const std::string& hex) {
+  CAWO_REQUIRE(hex.size() == 16, "campaign record: instance_hash must be 16 "
+                                 "hex digits, got \"" + hex + "\"");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(hex.c_str(), &end, 16);
+  CAWO_REQUIRE(end == hex.c_str() + hex.size(),
+               "campaign record: malformed instance_hash \"" + hex + "\"");
+  return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+CampaignRecord parseCampaignRecordLine(const std::string& line) {
+  const JsonValue v = JsonValue::parse(line);
+  CampaignRecord r;
+  r.instance = v.at("instance").asString();
+  r.spec.family = familyFromName(v.at("family").asString());
+  r.spec.targetTasks = static_cast<int>(v.at("tasks").asInt());
+  r.spec.nodesPerType = static_cast<int>(v.at("nodes_per_type").asInt());
+  r.spec.scenario = v.at("scenario").asString();
+  r.spec.deadlineFactor = v.at("deadline_factor").asDouble();
+  r.spec.seed = static_cast<std::uint64_t>(v.at("seed").asInt());
+  r.spec.numIntervals = static_cast<int>(v.at("intervals").asInt());
+  r.deadline = static_cast<Time>(v.at("deadline").asInt());
+  r.asapMakespanD = static_cast<Time>(v.at("asap_makespan").asInt());
+  r.numNodes = static_cast<TaskId>(v.at("num_nodes").asInt());
+  r.instanceHash = parseHashHex(v.at("instance_hash").asString());
+  r.solver = v.at("solver").asString();
+  r.skipped = v.at("skipped").asBool();
+  if (!r.skipped) {
+    r.cost = static_cast<Cost>(v.at("cost").asInt());
+    r.wallMs = v.at("wall_ms").asDouble();
+  }
+  r.lowerBound = static_cast<Cost>(v.at("lower_bound").asInt());
+  r.hasBaseline = !v.at("baseline_cost").isNull();
+  if (r.hasBaseline)
+    r.baselineCost = static_cast<Cost>(v.at("baseline_cost").asInt());
+  r.ratioVsBaseline = numberOrNaN(v.at("ratio_vs_baseline"));
+  r.feasible = v.at("feasible").asBool();
+  r.provedOptimal = v.at("proved_optimal").asBool();
+  r.hasPhaseSplit = !v.at("greedy_ms").isNull();
+  if (r.hasPhaseSplit) r.greedyMs = v.at("greedy_ms").asDouble();
+  r.hasLocalSearch = !v.at("ls_ms").isNull();
+  if (r.hasLocalSearch) {
+    r.lsMs = v.at("ls_ms").asDouble();
+    r.lsRounds = v.at("ls_rounds").asInt();
+    r.lsMoves = v.at("ls_moves").asInt();
+    r.lsInitialCost = static_cast<Cost>(v.at("ls_initial_cost").asInt());
+    r.lsFinalCost = static_cast<Cost>(v.at("ls_final_cost").asInt());
+  }
+  // Online records are recognised by the presence of the policy key — the
+  // same convention downstream consumers use.
+  r.hasOnline = v.has("policy");
+  if (r.hasOnline) {
+    r.policy = v.at("policy").asString();
+    if (!v.at("actual_scenario").isNull())
+      r.actualScenario = v.at("actual_scenario").asString();
+    r.regretRatio = quietNaN();
+    if (!r.skipped) {
+      r.forecastCost = static_cast<Cost>(v.at("forecast_cost").asInt());
+      r.clairvoyantFeasible = !v.at("clairvoyant_cost").isNull();
+      if (r.clairvoyantFeasible) {
+        r.clairvoyantCost =
+            static_cast<Cost>(v.at("clairvoyant_cost").asInt());
+        r.regret = static_cast<Cost>(v.at("regret").asInt());
+      }
+      r.regretRatio = numberOrNaN(v.at("regret_ratio"));
+      r.resolves = v.at("resolves").asInt();
+      r.resolvesAccepted = v.at("resolves_accepted").asInt();
+      r.resolveWallMs = v.at("resolve_wall_ms").asDouble();
+      r.deadlineMet = v.at("deadline_met").asBool();
+      r.finishTime = static_cast<Time>(v.at("finish_time").asInt());
+    }
+  }
+  return r;
+}
+
+} // namespace cawo

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "exp/record.hpp"
+
+/// \file record_json.hpp
+/// The one-line JSON codec for `CampaignRecord` — the unit of the
+/// `cawosched-campaign-v1` schema and of the result store's segment files.
+///
+/// The byte contract: `campaignRecordJsonLine` produces exactly the bytes
+/// the campaign document writer emits for the same record inside its
+/// `records` array (single line, compact separators, pinned key order).
+/// That is what lets the store append record lines incrementally and later
+/// splice them into a full document verbatim (`JsonWriter::rawValue`)
+/// with byte-identical output to the legacy in-memory path.
+/// `parseCampaignRecordLine` is the exact inverse on that format:
+/// serialize → parse → serialize is the identity.
+
+namespace cawo {
+
+class JsonWriter;
+
+/// Write one record as a compact single-line JSON object into an open
+/// array/document. Key order and null conventions are pinned by
+/// tests/test_campaign.cpp (RecordSchemaIsStable) and the golden files.
+void writeCampaignRecord(JsonWriter& w, const CampaignRecord& r);
+
+/// The record as a standalone compact JSON object — byte-identical to the
+/// in-document form (without trailing newline).
+std::string campaignRecordJsonLine(const CampaignRecord& r);
+
+/// Parse one record line back into the struct. Accepts exactly what the
+/// writer produces (nulls map back to the absence flags / NaN); throws
+/// PreconditionError on malformed or schema-violating input.
+CampaignRecord parseCampaignRecordLine(const std::string& line);
+
+} // namespace cawo

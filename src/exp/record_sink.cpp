@@ -1,0 +1,19 @@
+#include "exp/record_sink.hpp"
+
+#include "util/require.hpp"
+
+namespace cawo {
+
+void MemoryRecordSink::appendInstance(std::size_t instanceIndex,
+                                      const CampaignRecord* records,
+                                      std::size_t count) {
+  CAWO_REQUIRE(count == stride_,
+               "MemoryRecordSink: cell group size does not match the "
+               "campaign stride");
+  CAWO_REQUIRE((instanceIndex + 1) * stride_ <= records_.size(),
+               "MemoryRecordSink: instance index out of range");
+  for (std::size_t s = 0; s < count; ++s)
+    records_[instanceIndex * stride_ + s] = records[s];
+}
+
+} // namespace cawo

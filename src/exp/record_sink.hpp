@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/record.hpp"
+
+/// \file record_sink.hpp
+/// Where campaign records go as they are produced.
+///
+/// The campaign runner solves instances in parallel and hands each
+/// finished instance's cell group — `stride` records, one per (solver) or
+/// (solver, policy) — to a `RecordSink`. The sink decides the storage
+/// strategy: `MemoryRecordSink` keeps the legacy batch-in-RAM behaviour
+/// (records land in a preallocated instance-major vector), while the
+/// result store's `CampaignStoreWriter` (exp/store.hpp) streams them to
+/// disk with O(group-commit buffer) memory. The runner itself no longer
+/// knows or cares which one it is feeding.
+
+namespace cawo {
+
+/// Consumer of finished instance cell groups. `appendInstance` is called
+/// from the runner's worker threads — implementations must be
+/// thread-safe. Each instance index is delivered at most once per run.
+class RecordSink {
+public:
+  virtual ~RecordSink() = default;
+
+  /// Deliver instance `instanceIndex`'s complete cell group: `count`
+  /// records, cell-major in the campaign's solver/policy label order.
+  virtual void appendInstance(std::size_t instanceIndex,
+                              const CampaignRecord* records,
+                              std::size_t count) = 0;
+};
+
+/// The legacy path as a sink: records are copied into their instance-major
+/// slots of a caller-owned vector sized `instances × stride` up front.
+/// Writes from different workers touch disjoint slots, so no lock is
+/// needed — exactly the invariant the pre-sink runner relied on.
+class MemoryRecordSink : public RecordSink {
+public:
+  MemoryRecordSink(std::vector<CampaignRecord>& records, std::size_t stride)
+      : records_(records), stride_(stride) {}
+
+  void appendInstance(std::size_t instanceIndex,
+                      const CampaignRecord* records,
+                      std::size_t count) override;
+
+private:
+  std::vector<CampaignRecord>& records_;
+  std::size_t stride_;
+};
+
+} // namespace cawo

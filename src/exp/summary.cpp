@@ -1,0 +1,74 @@
+#include "exp/summary.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/stats.hpp"
+#include "util/require.hpp"
+
+namespace cawo {
+
+namespace {
+
+double quietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+
+} // namespace
+
+SummaryAccumulator::SummaryAccumulator(std::vector<std::string> solvers,
+                                       std::vector<std::string> scenarios)
+    : solvers_(std::move(solvers)), scenarios_(std::move(scenarios)),
+      partial_(solvers_.size()), ratios_(solvers_.size()),
+      ratiosByScenario_(solvers_.size()) {
+  for (std::size_t s = 0; s < solvers_.size(); ++s) {
+    partial_[s].solver = solvers_[s];
+    ratiosByScenario_[s].resize(scenarios_.size());
+  }
+}
+
+void SummaryAccumulator::addInstance(const CampaignRecord* records,
+                                     std::size_t count) {
+  CAWO_REQUIRE(count == solvers_.size(),
+               "SummaryAccumulator: cell group size does not match the "
+               "solver label count");
+  // Per-instance minimum over the cells that ran *feasibly* (for win
+  // counting): an infeasible solve's cost is meaningless and must not
+  // claim wins or drag the aggregates.
+  Cost minCost = std::numeric_limits<Cost>::max();
+  for (std::size_t s = 0; s < count; ++s) {
+    const CampaignRecord& r = records[s];
+    if (!r.skipped && r.feasible && r.cost < minCost) minCost = r.cost;
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    const CampaignRecord& r = records[s];
+    if (r.skipped) continue;
+    SolverSummary& summary = partial_[s];
+    ++summary.instances;
+    summary.totalWallMs += r.wallMs;
+    if (r.feasible && r.cost == minCost) ++summary.wins;
+    if (!std::isnan(r.ratioVsBaseline)) {
+      ratios_[s].push_back(r.ratioVsBaseline);
+      for (std::size_t sc = 0; sc < scenarios_.size(); ++sc)
+        if (scenarios_[sc] == r.spec.scenario)
+          ratiosByScenario_[s][sc].push_back(r.ratioVsBaseline);
+    }
+  }
+}
+
+std::vector<SolverSummary> SummaryAccumulator::finish() const {
+  std::vector<SolverSummary> summaries = partial_;
+  for (std::size_t s = 0; s < summaries.size(); ++s) {
+    SolverSummary& summary = summaries[s];
+    summary.medianRatio =
+        ratios_[s].empty() ? quietNaN() : medianOf(ratios_[s]);
+    summary.meanRatio = ratios_[s].empty() ? quietNaN() : meanOf(ratios_[s]);
+    summary.medianRatioByScenario.resize(scenarios_.size());
+    for (std::size_t sc = 0; sc < scenarios_.size(); ++sc)
+      summary.medianRatioByScenario[sc] =
+          ratiosByScenario_[s][sc].empty()
+              ? quietNaN()
+              : medianOf(ratiosByScenario_[s][sc]);
+  }
+  return summaries;
+}
+
+} // namespace cawo

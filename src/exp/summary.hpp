@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+
+/// \file summary.hpp
+/// Streaming computation of the per-solver campaign summaries.
+///
+/// The legacy runner summarised a complete in-memory record vector in one
+/// pass. `SummaryAccumulator` computes the identical aggregates one
+/// instance cell-group at a time, so the result store can produce the
+/// summary (and the final document) without ever materialising the record
+/// set: the accumulator's state is O(cells) *doubles* (the ratio samples a
+/// median inherently needs), not O(cells) records.
+///
+/// Bit-for-bit contract: feeding instance groups in expansion order
+/// reproduces the legacy `summarise` output exactly — wins, counts, and
+/// the order-sensitive floating-point accumulations (mean, wall-time sums)
+/// all see the same values in the same sequence.
+
+namespace cawo {
+
+class SummaryAccumulator {
+public:
+  /// `solvers` are the campaign's per-instance cell labels; `scenarios`
+  /// the distinct scenario specs (in document order) for the by-scenario
+  /// medians.
+  SummaryAccumulator(std::vector<std::string> solvers,
+                     std::vector<std::string> scenarios);
+
+  /// Add one instance's complete cell group (`count` == |solvers|),
+  /// cell-major in label order. Call in instance expansion order for
+  /// bit-identical summaries.
+  void addInstance(const CampaignRecord* records, std::size_t count);
+
+  /// The aggregated per-solver summaries (call once, after all groups).
+  std::vector<SolverSummary> finish() const;
+
+  const std::vector<std::string>& scenarios() const { return scenarios_; }
+
+private:
+  std::vector<std::string> solvers_;
+  std::vector<std::string> scenarios_;
+  std::vector<SolverSummary> partial_;  ///< instances/wins/wall so far
+  std::vector<std::vector<double>> ratios_; ///< per solver, instance order
+  /// ratiosByScenario_[solver][scenario]: the per-scenario ratio samples.
+  std::vector<std::vector<std::vector<double>>> ratiosByScenario_;
+};
+
+} // namespace cawo

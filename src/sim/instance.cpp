@@ -1,8 +1,11 @@
 #include "sim/instance.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "core/asap.hpp"
+#include "core/instance_hash.hpp"
 #include "heft/heft.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
@@ -33,6 +36,37 @@ std::string InstanceSpec::label() const {
   return std::string(familyName(family)) + "-" + std::to_string(targetTasks) +
          "/c" + std::to_string(nodesPerType) + "/" + scenario + "/d" +
          formatFixed(deadlineFactor, 1);
+}
+
+std::string InstanceSpec::cellKey() const {
+  // Shortest %g spelling that round-trips the factor exactly: the key must
+  // distinguish 1.2 from 1.25, which label()'s 1-decimal rendering cannot.
+  char factor[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(factor, sizeof(factor), "%.*g", precision, deadlineFactor);
+    if (std::strtod(factor, nullptr) == deadlineFactor) break;
+  }
+  return std::string(familyName(family)) + "-" + std::to_string(targetTasks) +
+         "/c" + std::to_string(nodesPerType) + "/s" + std::to_string(seed) +
+         "/i" + std::to_string(numIntervals) + "/d" + factor + "/" + scenario;
+}
+
+std::uint64_t instanceSpecHash(const InstanceSpec& spec) {
+  Fnv1aHasher h;
+  h.mixString(std::string(familyName(spec.family)));
+  h.mixI64(spec.targetTasks);
+  h.mixI64(spec.nodesPerType);
+  h.mixString(spec.scenario);
+  h.mixU64(std::bit_cast<std::uint64_t>(spec.deadlineFactor));
+  h.mixI64(spec.numIntervals);
+  h.mixU64(spec.seed);
+  return h.value();
+}
+
+std::size_t shardOfInstance(const InstanceSpec& spec,
+                            std::size_t shardCount) {
+  CAWO_REQUIRE(shardCount >= 1, "shard count must be at least 1");
+  return static_cast<std::size_t>(instanceSpecHash(spec) % shardCount);
 }
 
 Instance buildInstance(const InstanceSpec& spec) {

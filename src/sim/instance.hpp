@@ -33,7 +33,24 @@ struct InstanceSpec {
 
   /// Human-readable identifier, e.g. "atacseq-200/c2/S1/d1.5".
   std::string label() const;
+
+  /// Unique identifier over *all* axes, e.g.
+  /// "atacseq-200/c2/s1/i24/d1.5/S1". Unlike `label()` it includes the
+  /// seed and interval count and spells the deadline factor exactly (via
+  /// shortest-round-trip formatting), so distinct cells never collide —
+  /// the result store keys recovered segment lines by it. The free-form
+  /// scenario spec comes last so its own '/'-es cannot shadow other axes.
+  std::string cellKey() const;
 };
+
+/// Deterministic FNV-1a hash over the spec's axes alone — no instance
+/// build required, unlike core/instance_hash. This is what campaign
+/// sharding partitions on: every process computes the same owner for a
+/// cell from the spec text, before any workflow is generated.
+std::uint64_t instanceSpecHash(const InstanceSpec& spec);
+
+/// The shard (0-based, < shardCount) that owns this instance.
+std::size_t shardOfInstance(const InstanceSpec& spec, std::size_t shardCount);
 
 struct Instance {
   InstanceSpec spec;

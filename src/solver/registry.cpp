@@ -7,37 +7,6 @@
 
 namespace cawo {
 
-namespace {
-
-/// Glob match with `*` (any run) and `?` (any one char); linear-time
-/// two-pointer algorithm, no backtracking blowup.
-bool globMatch(const std::string& pattern, const std::string& text) {
-  std::size_t p = 0, t = 0, star = std::string::npos, mark = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '?' || pattern[p] == text[t])) {
-      ++p;
-      ++t;
-    } else if (p < pattern.size() && pattern[p] == '*') {
-      star = p++;
-      mark = t;
-    } else if (star != std::string::npos) {
-      p = star + 1;
-      t = ++mark;
-    } else {
-      return false;
-    }
-  }
-  while (p < pattern.size() && pattern[p] == '*') ++p;
-  return p == pattern.size();
-}
-
-bool isGlob(const std::string& s) {
-  return s.find('*') != std::string::npos || s.find('?') != std::string::npos;
-}
-
-} // namespace
-
 std::pair<std::string, std::string> splitBracketParam(
     const std::string& name) {
   const std::size_t open = name.find('[');

@@ -32,6 +32,15 @@ bool startsWith(std::string_view s, std::string_view prefix);
 /// True if `s` ends with `suffix`.
 bool endsWith(std::string_view s, std::string_view suffix);
 
+/// Glob match with `*` (any run) and `?` (any one char); linear-time
+/// two-pointer algorithm, no backtracking blowup. Shared by the solver
+/// registry's selection strings and the result-store query filters, so
+/// `--algos` and `query --solvers` accept the same patterns.
+bool globMatch(const std::string& pattern, const std::string& text);
+
+/// True if `s` contains glob metacharacters (`*` or `?`).
+bool isGlob(const std::string& s);
+
 /// Render a double with fixed precision (for tables).
 std::string formatFixed(double value, int precision);
 

@@ -13,7 +13,15 @@
 //                 [--out=schedule.csv] [--gantt] [--seed=1]
 //   cawosched-cli campaign [--campaign=<file>] [--out=results.json]
 //                 [--summary] [--threads=N] [--quiet]
+//                 [--store=DIR] [--shard=i/N] [--resume]
+//                 [--group-commit=64] [--max-cells=N]
 //                 [--<axis>=<comma list> ...]   (overrides the file)
+//   cawosched-cli query --store=DIR [--solvers=GLOB,...]
+//                 [--scenarios=SPEC,...] [--families=a,b]
+//                 [--min-tasks=N] [--max-tasks=N]
+//                 [--deadline-factors=a,b] [--seeds=a,b]
+//                 [--instance-hash=HEX] [--feasible-only]
+//                 [--records[=FILE]] [--summary] [--count] [--quiet]
 //   cawosched-cli replay [--list-policies]
 //                 [--family=atacseq] [--tasks=60] [--nodes-per-type=2]
 //                 [--intervals=24] [--deadline-factor=2.0] [--seed=1]
@@ -38,14 +46,20 @@
 // sizes, cluster sizes, scenarios, deadline factors and seeds (see
 // docs/formats.md for the campaign file format), runs every selected
 // solver on every instance in parallel, prints an aggregate summary and
-// optionally writes one JSON record per (instance, solver) cell.
+// optionally writes one JSON record per (instance, solver) cell. With
+// --store the records stream into a sharded, resumable on-disk result
+// store instead of RAM (see docs/formats.md, "Campaign result store");
+// the query subcommand filters and summarises such a store.
 //
 // Legacy spellings are still accepted: --variant=<name> equals
 // --algo=<name>, and --green-heft equals --algo=greenheft.
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <sstream>
 
 #include "core/asap.hpp"
 #include "core/carbon_cost.hpp"
@@ -53,6 +67,8 @@
 #include "exp/campaign.hpp"
 #include "exp/campaign_runner.hpp"
 #include "exp/json.hpp"
+#include "exp/store.hpp"
+#include "exp/summary.hpp"
 #include "heft/heft.hpp"
 #include "online/policy.hpp"
 #include "online/replay.hpp"
@@ -74,6 +90,136 @@ namespace {
 
 using namespace cawo;
 
+/// Live campaign progress on stderr: a `\r`-updated "done/total cells,
+/// rate, ETA" line, throttled to ~10 updates/s so million-cell sweeps
+/// don't drown in terminal writes. stderr keeps stdout clean for
+/// summaries and piped JSON.
+class ProgressMeter {
+public:
+  explicit ProgressMeter(bool enabled)
+      : enabled_(enabled), start_(std::chrono::steady_clock::now()) {}
+
+  /// Thread-safe; usable directly as a CampaignProgress callback.
+  void operator()(std::size_t done, std::size_t total) {
+    if (!enabled_ || total == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (done < total && now - last_ < std::chrono::milliseconds(100)) return;
+    last_ = now;
+    const double secs = std::chrono::duration<double>(now - start_).count();
+    const double rate =
+        secs > 0 ? static_cast<double>(done) / secs : 0.0;
+    std::ostringstream line; // one write per update, no interleaving
+    line << '\r' << done << '/' << total << " cells";
+    if (rate > 0) {
+      line << "  " << formatFixed(rate, 1) << " cells/s";
+      if (done < total)
+        line << "  ETA " << formatEta(static_cast<double>(total - done) /
+                                      rate);
+    }
+    line << "    ";
+    if (done >= total) line << '\n';
+    std::cerr << line.str() << std::flush;
+  }
+
+private:
+  static std::string formatEta(double seconds) {
+    const auto s = static_cast<std::int64_t>(seconds + 0.5);
+    if (s >= 3600)
+      return std::to_string(s / 3600) + "h" +
+             padLeft(std::to_string((s % 3600) / 60), 2) + "m";
+    if (s >= 60)
+      return std::to_string(s / 60) + "m" +
+             padLeft(std::to_string(s % 60), 2) + "s";
+    return std::to_string(s) + "s";
+  }
+
+  bool enabled_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// Parse `--shard=i/N` (0-based index, total count) into store options.
+void parseShardFlag(const std::string& value, StoreOptions& options) {
+  const std::vector<std::string> parts = split(value, '/');
+  CAWO_REQUIRE(parts.size() == 2,
+               "--shard wants i/N (0-based), e.g. --shard=0/4 — got \"" +
+                   value + "\"");
+  options.shardIndex = static_cast<std::size_t>(
+      parseInt64Strict("--shard index", std::string(trim(parts[0]))));
+  options.shardCount = static_cast<std::size_t>(
+      parseInt64Strict("--shard count", std::string(trim(parts[1]))));
+  CAWO_REQUIRE(options.shardCount >= 1 &&
+                   options.shardIndex < options.shardCount,
+               "--shard=" + value + ": index must be 0-based and below "
+               "the shard count");
+}
+
+/// The store-backed campaign path: stream records into one shard of the
+/// result store, then summarise (and optionally export) the merged store
+/// if every shard is complete.
+int runCampaignToStoreCommand(const CliArgs& args, const CampaignSpec& spec,
+                              const SolverOptions& options, bool quiet) {
+  StoreOptions storeOptions;
+  if (args.has("shard"))
+    parseShardFlag(args.getString("shard", ""), storeOptions);
+  storeOptions.resume = args.has("resume");
+  storeOptions.groupCommit =
+      static_cast<std::size_t>(args.getInt("group-commit", 64));
+  const std::string dir = args.getString("store", "");
+  CAWO_REQUIRE(!dir.empty(), "--store wants a directory path");
+
+  CampaignStoreWriter store(dir, spec, storeOptions);
+  if (!quiet) {
+    std::cerr << "store: " << dir << " — shard " << store.shardIndex()
+              << "/" << store.shardCount() << " owns " << store.shardCells()
+              << " cells, " << store.presentCells() << " already present\n";
+    const StoreRecovery& rec = store.recovery();
+    if (rec.recoveredCells || rec.truncatedBytes || rec.droppedIndexLines)
+      std::cerr << "store: recovery re-indexed " << rec.recoveredCells
+                << " cells, dropped " << rec.droppedIndexLines
+                << " index lines and " << rec.truncatedBytes
+                << " torn segment bytes\n";
+  }
+
+  ProgressMeter meter(!quiet);
+  const CampaignRunStats stats = runCampaignToStore(
+      options, store, std::ref(meter),
+      static_cast<std::size_t>(args.getInt("max-cells", 0)));
+  if (!quiet) {
+    std::cerr << "shard " << store.shardIndex() << "/" << store.shardCount()
+              << ": solved " << stats.cellsSolved << " cells ("
+              << stats.instancesSolved << " instances), "
+              << stats.presentBefore << " were already durable";
+    if (stats.cappedByMaxCells) std::cerr << " [capped by --max-cells]";
+    std::cerr << "\n";
+  }
+  store.flush();
+
+  CampaignStoreReader reader(dir);
+  if (!reader.complete()) {
+    if (!quiet)
+      std::cout << "store incomplete: " << reader.presentCells() << "/"
+                << reader.totalCells() << " cells present — run the "
+                << "remaining shards (or --resume interrupted ones); "
+                << "--out/--summary apply once complete\n";
+    return 0;
+  }
+
+  const CampaignOutcome outcome = summariseStore(reader);
+  if (!quiet || !args.has("out"))
+    printCampaignSummary(std::cout, outcome, args.has("summary"));
+  if (args.has("out")) {
+    const std::string out = args.getString("out", "results.json");
+    writeCampaignJsonFileFromStore(out, reader);
+    if (!quiet)
+      std::cout << "\n" << reader.totalCells() << " JSON records written "
+                << "to " << out << "\n";
+  }
+  return 0;
+}
+
 /// `cawosched-cli campaign ...` — run a declarative experiment campaign.
 /// `argv` starts at the flags after the subcommand word.
 int runCampaignCommand(int argc, const char* const* argv) {
@@ -82,7 +228,8 @@ int runCampaignCommand(int argc, const char* const* argv) {
                       "families", "tasks", "bacass-tasks", "nodes-per-type",
                       "scenarios", "deadline-factors", "seeds", "intervals",
                       "algos", "threads", "block-size", "ls-radius", "online",
-                      "actual", "policies", "runtime-noise"},
+                      "actual", "policies", "runtime-noise", "store", "shard",
+                      "resume", "group-commit", "max-cells"},
                      "cawosched-cli campaign");
   if (args.has("help")) {
     std::cout
@@ -97,6 +244,8 @@ int runCampaignCommand(int argc, const char* const* argv) {
            "  [--block-size=3] [--ls-radius=10] [--online=1] "
            "[--actual=SPEC]\n"
            "  [--policies=SPEC,...] [--runtime-noise=A]\n"
+           "  [--store=DIR] [--shard=i/N] [--resume] [--group-commit=64] "
+           "[--max-cells=N]\n"
            "With --online=1 every (instance, solver, policy) cell runs "
            "through the online\nreplay engine (see `cawosched-cli replay "
            "--help`).\n"
@@ -104,7 +253,12 @@ int runCampaignCommand(int argc, const char* const* argv) {
            "(key = value lines or a JSON\nobject, see docs/formats.md); "
            "flags override the file. The scenarios axis takes\nany "
            "registered profile spec (--list-scenarios), e.g. "
-           "S1,sine:period=24,amp=0.5,duck.\n";
+           "S1,sine:period=24,amp=0.5,duck.\n"
+           "With --store records stream into a sharded, resumable on-disk "
+           "result store\ninstead of RAM: --shard=i/N partitions the grid "
+           "across N independent processes,\n--resume completes an "
+           "interrupted run (only missing cells are solved), and\n"
+           "`cawosched-cli query` filters the result (see docs/cli.md).\n";
     return 0;
   }
 
@@ -136,7 +290,17 @@ int runCampaignCommand(int argc, const char* const* argv) {
               << " cells)\n";
   }
 
-  const CampaignOutcome outcome = runCampaign(spec, options);
+  for (const char* storeOnly : {"shard", "resume", "group-commit",
+                                "max-cells"})
+    CAWO_REQUIRE(args.has("store") || !args.has(storeOnly),
+                 std::string("--") + storeOnly +
+                     " needs --store=DIR (the in-memory path has no "
+                     "shards or resume)");
+  if (args.has("store"))
+    return runCampaignToStoreCommand(args, spec, options, quiet);
+
+  ProgressMeter meter(!quiet);
+  const CampaignOutcome outcome = runCampaign(spec, options, std::ref(meter));
 
   if (!quiet || !args.has("out"))
     printCampaignSummary(std::cout, outcome, args.has("summary"));
@@ -147,6 +311,164 @@ int runCampaignCommand(int argc, const char* const* argv) {
       std::cout << "\n" << outcome.records.size() << " JSON records written "
                 << "to " << out << "\n";
   }
+  return 0;
+}
+
+/// `cawosched-cli query ...` — filter and summarise a campaign result
+/// store without loading it into memory. `argv` starts after the
+/// subcommand word.
+int runQueryCommand(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"help", "store", "solvers", "scenarios", "families",
+                      "min-tasks", "max-tasks", "deadline-factors", "seeds",
+                      "instance-hash", "feasible-only", "records", "summary",
+                      "count", "quiet"},
+                     "cawosched-cli query");
+  if (args.has("help") || !args.has("store")) {
+    std::cout
+        << "usage: cawosched-cli query --store=DIR [--solvers=GLOB,...]\n"
+           "  [--scenarios=SPEC,...] [--families=a,b] [--min-tasks=N] "
+           "[--max-tasks=N]\n"
+           "  [--deadline-factors=a,b] [--seeds=a,b] "
+           "[--instance-hash=HEX]\n"
+           "  [--feasible-only] [--records[=FILE]] [--summary] [--count] "
+           "[--quiet]\n"
+           "Streams a campaign result store (campaign --store=DIR) "
+           "through the filters in\nmerged instance order. --records "
+           "emits the matching record lines (JSONL) to\nstdout or FILE; "
+           "--summary prints the per-solver aggregate over the matches;\n"
+           "--count prints only the match count. --solvers takes the same "
+           "glob syntax as\n--algos; online stores match the full "
+           "\"solver @ policy\" cell label.\n";
+    return args.has("help") ? 0 : 2;
+  }
+
+  CampaignStoreReader reader(args.getString("store", ""));
+
+  StoreQuery query;
+  if (args.has("solvers"))
+    query.solvers = splitSpecList(args.getString("solvers", ""));
+  if (args.has("scenarios"))
+    query.scenarios = splitSpecList(args.getString("scenarios", ""));
+  if (args.has("families"))
+    for (const std::string& f : split(args.getString("families", ""), ','))
+      query.families.push_back(std::string(trim(f)));
+  query.minTasks = static_cast<int>(args.getInt("min-tasks", 0));
+  if (args.has("max-tasks"))
+    query.maxTasks = static_cast<int>(args.getInt("max-tasks", 0));
+  if (args.has("deadline-factors"))
+    for (const std::string& f :
+         split(args.getString("deadline-factors", ""), ','))
+      query.deadlineFactors.push_back(
+          parseDoubleStrict("--deadline-factors", std::string(trim(f))));
+  if (args.has("seeds"))
+    for (const std::string& s : split(args.getString("seeds", ""), ','))
+      query.seeds.push_back(
+          parseUint64Strict("--seeds", std::string(trim(s))));
+  query.instanceHash = args.getString("instance-hash", "");
+  query.feasibleOnly = args.has("feasible-only");
+
+  const bool quiet = args.has("quiet");
+  const bool wantSummary = args.has("summary");
+  const bool wantRecords = args.has("records");
+  const bool wantCount = args.has("count");
+
+  // --records destination: stdout for the bare flag, else the given file.
+  // CliArgs stores bare boolean flags as "1", so that value means stdout.
+  std::ofstream recordFile;
+  std::ostream* recordOut = nullptr;
+  std::string recordPath = args.getString("records", "");
+  if (recordPath == "1") recordPath.clear();
+  if (wantRecords) {
+    if (recordPath.empty()) {
+      recordOut = &std::cout;
+    } else {
+      recordFile.open(recordPath);
+      CAWO_REQUIRE(recordFile.good(),
+                   "cannot open record file for writing: " + recordPath);
+      recordOut = &recordFile;
+    }
+  }
+
+  // The summary view feeds matched cells into the shared accumulator,
+  // one full-width group per instance with unmatched cells standing in
+  // as skipped records — "wins" then means wins *within the query*.
+  const std::vector<std::string>& labels = reader.cellLabels();
+  std::vector<std::size_t> labelPos; // cell index → position, or npos
+  std::vector<std::string> matchedLabels;
+  for (std::size_t c = 0; c < labels.size(); ++c) {
+    bool match = query.solvers.empty();
+    for (const std::string& glob : query.solvers)
+      if (globMatch(glob, labels[c])) { match = true; break; }
+    labelPos.push_back(match ? matchedLabels.size()
+                             : std::numeric_limits<std::size_t>::max());
+    if (match) matchedLabels.push_back(labels[c]);
+  }
+  SummaryAccumulator accumulator(matchedLabels,
+                                 campaignDistinctScenarios(reader.spec()));
+  std::vector<CampaignRecord> group(matchedLabels.size());
+  for (CampaignRecord& r : group) r.skipped = true;
+  std::size_t groupInstance = std::numeric_limits<std::size_t>::max();
+  std::size_t groupMatches = 0;
+  const auto flushGroup = [&]() {
+    if (groupMatches == 0) return;
+    accumulator.addInstance(group.data(), group.size());
+    for (CampaignRecord& r : group) r = CampaignRecord{};
+    for (CampaignRecord& r : group) r.skipped = true;
+    groupMatches = 0;
+  };
+
+  StoreQueryFn consumer;
+  if (wantRecords || wantSummary) {
+    consumer = [&](std::size_t instance, std::size_t cell,
+                   const CampaignRecord& record, const std::string& line) {
+      if (recordOut) *recordOut << line << '\n';
+      if (!wantSummary) return;
+      if (instance != groupInstance) {
+        flushGroup();
+        groupInstance = instance;
+      }
+      group[labelPos[cell]] = record;
+      ++groupMatches;
+    };
+  }
+  const std::size_t matched = queryStore(reader, query, consumer);
+  flushGroup();
+  if (recordOut) {
+    recordOut->flush();
+    CAWO_REQUIRE(recordOut->good(),
+                 "failed writing record file: " + recordPath);
+  }
+
+  if (wantCount) {
+    std::cout << matched << "\n";
+    return 0;
+  }
+  // Status goes to stderr so `--records` piped from stdout stays pure
+  // JSONL and `--summary` output stays machine-diffable.
+  if (!quiet)
+    std::cerr << "matched " << matched << " of " << reader.presentCells()
+              << " present cells (" << reader.totalCells() << " total, "
+              << reader.shardCount() << " shard"
+              << (reader.shardCount() == 1 ? "" : "s") << ")\n";
+  if (wantSummary) {
+    if (matchedLabels.empty()) {
+      std::cout << "no cell label matches --solvers — nothing to "
+                   "summarise\n";
+    } else {
+      CampaignOutcome view;
+      view.spec = reader.spec();
+      view.spec.name = reader.spec().name + " [query]";
+      view.solvers = matchedLabels;
+      view.scenarios = accumulator.scenarios();
+      view.results.resize(reader.numInstances());
+      view.summaries = accumulator.finish();
+      printCampaignSummary(std::cout, view, true);
+    }
+  }
+  if (!quiet && recordOut == &recordFile && !recordPath.empty())
+    std::cout << matched << " record lines written to " << recordPath
+              << "\n";
   return 0;
 }
 
@@ -402,9 +724,11 @@ int main(int argc, char** argv) {
       return runReplayCommand(argc - 1, argv + 1);
     if (argc > 1 && std::string(argv[1]) == "serve")
       return runServeCommand(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "query")
+      return runQueryCommand(argc - 1, argv + 1);
     if (argc > 1 && argv[1][0] != '-') {
       std::cerr << "error: unknown subcommand \"" << argv[1]
-                << "\" for cawosched-cli (valid: campaign, replay, "
+                << "\" for cawosched-cli (valid: campaign, query, replay, "
                    "serve)\n";
       return 2;
     }
@@ -434,6 +758,8 @@ int main(int argc, char** argv) {
              "subcommands:\n"
              "  campaign  run a declarative experiment campaign "
              "(see campaign --help)\n"
+             "  query     filter/summarise a campaign result store "
+             "(see query --help)\n"
              "  replay    online forecast-vs-actual execution replay "
              "(see replay --help,\n"
              "            replay --list-policies)\n"
