@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -171,7 +172,7 @@ void BM_LocalSearchRestarts(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalSearchRestarts)
-    ->ArgsProduct({{200, 1000}, {1, 4, 0 /* 0 = hardware */}})
+    ->ArgsProduct({{200, 1000, 5000}, {1, 4, 0 /* 0 = hardware */}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_Heft(benchmark::State& state) {
@@ -269,6 +270,69 @@ void BM_GenerateProfileTrace(benchmark::State& state) {
         "trace:" + path + ",repeat=1,normalize=1", req));
 }
 BENCHMARK(BM_GenerateProfileTrace)->Arg(1)->Arg(7);
+
+// -----------------------------------------------------------------------
+// Timeline candidate probes, scalar vs batched. Both kernels evaluate the
+// same local-search-shaped scan — one source interval, `width` contiguous
+// candidate targets — against an identically loaded timeline; items/s is
+// candidates per second. BM_TimelinePeek walks the segment window once
+// per candidate (scalar peekMoveDelta), BM_TimelineBatch serves the whole
+// sweep from one prefix table (peekMoveDeltas). The perf trajectory is
+// recorded via --out=BENCH_timeline.json (see bench/README.md).
+// -----------------------------------------------------------------------
+PowerTimeline loadedProbeTimeline(PowerProfile& profile) {
+  for (int j = 0; j < 24; ++j) profile.appendInterval(100, j * 7 % 50);
+  PowerTimeline timeline(profile, 100);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Time a = rng.uniformInt(0, 2300);
+    timeline.addLoad(a, a + rng.uniformInt(1, 80), rng.uniformInt(1, 20));
+  }
+  return timeline;
+}
+
+void BM_TimelinePeek(benchmark::State& state) {
+  PowerProfile profile;
+  const PowerTimeline timeline = loadedProbeTimeline(profile);
+  const Time width = state.range(0);
+  constexpr Time kLen = 60;
+  Rng rng(17);
+  for (auto _ : state) {
+    const Time cur = rng.uniformInt(0, profile.horizon() - kLen);
+    const Time lo = rng.uniformInt(0, profile.horizon() - kLen - width);
+    Cost best = 0;
+    for (Time t = lo; t < lo + width; ++t)
+      best = std::min(best,
+                      timeline.peekMoveDelta(cur, cur + kLen, t, t + kLen, 5));
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_TimelinePeek)->Arg(64)->Arg(512);
+
+void BM_TimelineBatch(benchmark::State& state) {
+  PowerProfile profile;
+  const PowerTimeline timeline = loadedProbeTimeline(profile);
+  const Time width = state.range(0);
+  constexpr Time kLen = 60;
+  Rng rng(17);
+  std::vector<CandidateInterval> cands;
+  std::vector<Cost> deltas;
+  PowerTimeline::PeekScratch scratch;
+  for (auto _ : state) {
+    const Time cur = rng.uniformInt(0, profile.horizon() - kLen);
+    const Time lo = rng.uniformInt(0, profile.horizon() - kLen - width);
+    cands.clear();
+    for (Time t = lo; t < lo + width; ++t) cands.push_back({t, t + kLen});
+    deltas.resize(cands.size());
+    timeline.peekMoveDeltas(cur, cur + kLen, 5, cands, scratch, deltas);
+    Cost best = 0;
+    for (const Cost d : deltas) best = std::min(best, d);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_TimelineBatch)->Arg(64)->Arg(512);
 
 void BM_PowerTimelineMoveDelta(benchmark::State& state) {
   PowerProfile profile;

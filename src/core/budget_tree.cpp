@@ -1,383 +1,344 @@
 #include "core/budget_tree.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "util/require.hpp"
-#include "util/rng.hpp"
 
 namespace cawo {
 
-/// Treap node, stored by index in a contiguous arena (`Impl::pool`) instead
-/// of heap-allocated with pointers: segment queries walk O(log S) nodes per
-/// placement, and with millions of refined subintervals the walk is memory
-/// bound — int32 links into one flat vector keep it on a handful of cache
-/// lines instead of chasing malloc'd pointers all over the heap.
-///
-/// `maxBudget` aggregates the subtree *including* pending lazy additions of
-/// descendants but excluding this node's own `lazy` (which is owed to the
-/// whole subtree by the parent chain).
-struct BudgetTree::Node {
-  Time key;        // segment begin
-  Power budget;    // own budget (lazy of ancestors not yet applied)
-  Power maxBudget; // max over subtree (own lazy applied by the parent chain)
-  Power lazy = 0;  // pending addition for the whole subtree
-  std::uint64_t prio;
-  std::int32_t left = -1;
-  std::int32_t right = -1;
-
-  Node(Time k, Power b, std::uint64_t p)
-      : key(k), budget(b), maxBudget(b), prio(p) {}
-};
-
 namespace {
-constexpr std::int32_t kNil = -1;
 constexpr Power kMinPower = std::numeric_limits<Power>::min();
-/// Largest horizon for which the boundary-presence bitmap is kept
-/// (512 KiB of bits); beyond it `splitAt` simply always descends.
-constexpr Time kBoundaryBitmapLimit = Time(1) << 22;
+
+/// First index in [0, n) with a[i] > t (in-slab upper bound).
+std::size_t ub(const Time* a, std::size_t n, Time t) {
+  std::size_t lo = 0;
+  std::size_t len = n;
+  while (len > 0) {
+    const std::size_t half = len / 2;
+    if (a[lo + half] <= t) {
+      lo += half + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  return lo;
+}
+
 } // namespace
 
-struct BudgetTree::Impl {
-  std::vector<Node> pool; ///< bump arena: nodes are appended, never freed
-  std::int32_t root = kNil;
-  std::vector<std::int32_t> pathScratch; ///< splitAt descent path, reused
-  /// Boundary-presence bitmap over the horizon (only kept for horizons up
-  /// to kBoundaryBitmapLimit): most `splitAt` calls hit an existing
-  /// boundary, and a one-bit test is far cheaper than the O(log S) descent
-  /// that would discover the same thing.
-  std::vector<std::uint64_t> boundaryBits;
-  Rng rng;
-
-  explicit Impl(std::uint64_t seed) : rng(seed) {}
-
-  Node& at(std::int32_t i) { return pool[static_cast<std::size_t>(i)]; }
-  const Node& at(std::int32_t i) const {
-    return pool[static_cast<std::size_t>(i)];
-  }
-
-  /// Effective maximum of a subtree as seen by its parent (own lazy
-  /// applied, ancestor lazy not).
-  Power maxOf(std::int32_t i) const {
-    return i != kNil ? at(i).maxBudget + at(i).lazy : kMinPower;
-  }
-
-  void pull(std::int32_t i) {
-    Node& n = at(i);
-    n.maxBudget = std::max({n.budget, maxOf(n.left), maxOf(n.right)});
-  }
-
-  void push(std::int32_t i) {
-    Node& n = at(i);
-    if (n.lazy == 0) return;
-    n.budget += n.lazy;
-    n.maxBudget += n.lazy;
-    if (n.left != kNil) at(n.left).lazy += n.lazy;
-    if (n.right != kNil) at(n.right).lazy += n.lazy;
-    n.lazy = 0;
-  }
-
-  /// Largest key <= t, with its (lazy-adjusted) budget. Read-only.
-  std::int32_t floorNode(Time t, Power& budgetOut) const {
-    std::int32_t i = root;
-    std::int32_t best = kNil;
-    Power acc = 0;
-    Power bestBudget = 0;
-    while (i != kNil) {
-      const Node& n = at(i);
-      acc += n.lazy;
-      if (n.key <= t) {
-        best = i;
-        bestBudget = n.budget + acc;
-        i = n.right;
-      } else {
-        i = n.left;
-      }
-    }
-    budgetOut = bestBudget;
-    return best;
-  }
-
-  /// (max effective budget, earliest key achieving it) over keys in
-  /// [lo, hi] — one read-only top-down descent. (klo, khi) are the
-  /// inclusive key bounds implied by the BST path, so fully covered
-  /// subtrees still need their earliest argmax resolved, which
-  /// `argmaxInSubtree` does by chasing `maxBudget` down, left first.
-  /// `acc` carries the ancestors' unapplied lazy. The reduce is
-  /// order-preserving: an in-order scan with a strictly-greater update,
-  /// so ties always resolve to the earliest segment no matter how the
-  /// subtree visits interleave.
-  /// Result of `rangeBest`: when the final maximum came from a fully
-  /// covered subtree, the earliest witness inside it is not yet resolved —
-  /// `subtree`/`subAcc` defer that to a single `argmaxInSubtree` descent
-  /// after the scan (instead of one per improvement).
-  struct RangeBest {
-    Power budget = kMinPower;
-    Time key = 0;
-    std::int32_t subtree = kNil;
-    Power subAcc = 0;
-  };
-
-  void argmaxInSubtree(std::int32_t i, Power acc, Power target,
-                       Time& out) const {
-    for (;;) {
-      const Node& n = at(i);
-      acc += n.lazy;
-      if (n.left != kNil && at(n.left).maxBudget + at(n.left).lazy + acc ==
-                                target) {
-        i = n.left;
-        continue;
-      }
-      if (n.budget + acc == target) {
-        out = n.key;
-        return;
-      }
-      CAWO_ASSERT(n.right != kNil, "subtree max not found");
-      i = n.right;
-    }
-  }
-
-  void rangeBest(std::int32_t i, Time lo, Time hi, Power acc, Time klo,
-                 Time khi, RangeBest& best) const {
-    if (i == kNil || lo > khi || hi < klo) return;
-    const Node& n = at(i);
-    acc += n.lazy;
-    if (lo <= klo && khi <= hi) {
-      // Fully covered: the subtree aggregate answers the max. The reduce
-      // is order-preserving — an in-order scan with a strictly-greater
-      // update — so ties always resolve to the earliest candidate no
-      // matter how the visits nest; the earliest witness *within* the
-      // winning subtree is resolved once, after the scan.
-      const Power subMax = n.maxBudget + acc;
-      if (subMax > best.budget) {
-        best.budget = subMax;
-        best.subtree = i;
-        best.subAcc = acc - n.lazy;
-      }
-      return;
-    }
-    if (lo < n.key) rangeBest(n.left, lo, hi, acc, klo, n.key - 1, best);
-    if (n.key >= lo && n.key <= hi && n.budget + acc > best.budget) {
-      best.budget = n.budget + acc;
-      best.key = n.key;
-      best.subtree = kNil;
-    }
-    if (hi > n.key) rangeBest(n.right, lo, hi, acc, n.key + 1, khi, best);
-  }
-
-  /// Add `delta` to every key in [lo, hi] — top-down with implied key
-  /// bounds, marking fully covered subtrees lazily. The structure is not
-  /// modified, only values, so iterators/indices stay stable.
-  void addRange(std::int32_t i, Time lo, Time hi, Power delta, Time klo,
-                Time khi) {
-    if (i == kNil || lo > khi || hi < klo) return;
-    if (lo <= klo && khi <= hi) {
-      at(i).lazy += delta;
-      return;
-    }
-    Node& n = at(i);
-    if (n.key >= lo && n.key <= hi) n.budget += delta;
-    const Time key = n.key;
-    addRange(n.left, lo, hi, delta, klo, key - 1);
-    addRange(n.right, lo, hi, delta, key + 1, khi);
-    pull(i);
-  }
-
-  /// Restore `maxBudget` bottom-up after the linear-time build.
-  void pullAll(std::int32_t i) {
-    if (i == kNil) return;
-    pullAll(at(i).left);
-    pullAll(at(i).right);
-    pull(i);
-  }
-};
-
-BudgetTree::BudgetTree(std::vector<Time> begins, std::vector<Power> budgets,
-                       Time horizon, std::uint64_t seed)
-    : impl_(std::make_unique<Impl>(seed)), horizon_(horizon) {
+void BudgetTree::build(std::span<const Time> begins,
+                       std::span<const Power> budgets) {
   CAWO_REQUIRE(begins.size() == budgets.size(), "begins/budgets mismatch");
   CAWO_REQUIRE(!begins.empty(), "need at least one segment");
   CAWO_REQUIRE(begins.front() == 0, "first segment must start at 0");
   for (std::size_t i = 1; i < begins.size(); ++i)
     CAWO_REQUIRE(begins[i] > begins[i - 1], "begins must be increasing");
-  CAWO_REQUIRE(begins.back() < horizon, "last segment begin beyond horizon");
+  CAWO_REQUIRE(begins.back() < horizon_, "last segment begin beyond horizon");
 
-  // O(S) treap construction from the sorted sequence: keep the rightmost
-  // spine on a stack and attach each new maximum-priority prefix as the
-  // left child of the incoming node (the Cartesian-tree build). One
-  // contiguous arena allocation replaces S individual `new`s.
-  impl_->pool.reserve(begins.size() + 64);
-  std::vector<std::int32_t> spine;
-  spine.reserve(64);
-  for (std::size_t i = 0; i < begins.size(); ++i) {
-    const auto node = static_cast<std::int32_t>(impl_->pool.size());
-    impl_->pool.emplace_back(begins[i], budgets[i], impl_->rng.next());
-    std::int32_t last = kNil;
-    while (!spine.empty() &&
-           impl_->at(spine.back()).prio < impl_->at(node).prio) {
-      last = spine.back();
-      spine.pop_back();
-    }
-    impl_->at(node).left = last;
-    if (!spine.empty()) impl_->at(spine.back()).right = node;
-    spine.push_back(node);
+  // Fill blocks half-full so the first splits per block are absorbed by
+  // free slack instead of immediately splitting slabs.
+  constexpr std::size_t fill = static_cast<std::size_t>(kBlockCap) / 2;
+  const std::size_t n = begins.size();
+  const std::size_t numBlocks = (n + fill - 1) / fill;
+  blocks_.reserve(numBlocks + 8);
+  keyArena_.resize(numBlocks * kBlockCap);
+  budgetArena_.resize(numBlocks * kBlockCap);
+  for (std::size_t bi = 0, i = 0; bi < numBlocks; ++bi, i += fill) {
+    const std::size_t cnt = std::min(fill, n - i);
+    Block b;
+    b.firstKey = begins[i];
+    b.count = static_cast<std::int32_t>(cnt);
+    b.slot = static_cast<std::int32_t>(bi);
+    blocks_.push_back(b);
+    std::copy_n(begins.data() + i, cnt, keys(blocks_.back()));
+    std::copy_n(budgets.data() + i, cnt, this->budgets(blocks_.back()));
+    recomputeMax(blocks_.back());
   }
-  impl_->root = spine.front();
-  impl_->pullAll(impl_->root);
-
-  if (horizon <= kBoundaryBitmapLimit) {
-    impl_->boundaryBits.assign(static_cast<std::size_t>(horizon) / 64 + 1, 0);
-    for (const Node& n : impl_->pool)
-      impl_->boundaryBits[static_cast<std::size_t>(n.key) >> 6] |=
-          std::uint64_t{1} << (static_cast<std::size_t>(n.key) & 63);
-  }
+  size_ = n;
 }
 
-BudgetTree::~BudgetTree() = default;
-BudgetTree::BudgetTree(BudgetTree&&) noexcept = default;
-BudgetTree& BudgetTree::operator=(BudgetTree&&) noexcept = default;
+BudgetTree::BudgetTree(std::vector<Time> begins, std::vector<Power> budgets,
+                       Time horizon, std::uint64_t /*seed*/)
+    : horizon_(horizon) {
+  build(begins, budgets);
+}
+
+BudgetTree::BudgetTree(std::span<const Time> begins,
+                       std::span<const Power> budgets, Time horizon)
+    : horizon_(horizon) {
+  build(begins, budgets);
+}
+
+void BudgetTree::recomputeMax(Block& b) {
+  const Power* vals = budgets(b);
+  Power m = kMinPower;
+  std::int32_t arg = 0;
+  for (std::int32_t k = 0; k < b.count; ++k) {
+    if (vals[k] > m) {
+      m = vals[k];
+      arg = k;
+    }
+  }
+  b.maxBudget = m;
+  b.argmax = arg;
+}
+
+std::size_t BudgetTree::findBlock(Time t) const {
+  // Largest directory index with firstKey <= t (branchless; block 0 has
+  // firstKey == 0, so for t >= 0 the answer always exists).
+  const Block* base = blocks_.data();
+  std::size_t lo = 0;
+  std::size_t n = blocks_.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    lo = base[lo + half].firstKey <= t ? lo + half : lo;
+    n -= half;
+  }
+  return lo;
+}
+
+void BudgetTree::splitBlock(std::size_t bi) {
+  const std::int32_t newSlot =
+      static_cast<std::int32_t>(keyArena_.size() / kBlockCap);
+  keyArena_.resize(keyArena_.size() + kBlockCap);
+  budgetArena_.resize(budgetArena_.size() + kBlockCap);
+
+  Block& b = blocks_[bi];
+  const std::int32_t lowerCnt = b.count / 2;
+  const std::int32_t upperCnt = b.count - lowerCnt;
+  Block nb;
+  nb.slot = newSlot;
+  nb.count = upperCnt;
+  nb.lazy = b.lazy;
+  std::copy_n(keys(b) + lowerCnt, upperCnt,
+              keyArena_.data() + static_cast<std::size_t>(newSlot) * kBlockCap);
+  std::copy_n(budgets(b) + lowerCnt, upperCnt,
+              budgetArena_.data() +
+                  static_cast<std::size_t>(newSlot) * kBlockCap);
+  nb.firstKey = keys(nb)[0];
+  recomputeMax(nb);
+  b.count = lowerCnt;
+  recomputeMax(b);
+  blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(bi) + 1, nb);
+}
+
+std::size_t BudgetTree::splitAtIdxFrom(std::size_t bi, Time t) {
+  if (t <= 0) return 0;
+  if (t >= horizon_) return bi;
+  const std::size_t nb = blocks_.size();
+  while (bi + 1 < nb && blocks_[bi + 1].firstKey <= t) ++bi;
+  {
+    Block& b = blocks_[bi];
+    const Time* k = keys(b);
+    const std::size_t pos = ub(k, static_cast<std::size_t>(b.count), t);
+    // pos >= 1: firstKey <= t. The floor entry is pos-1; an exact hit means
+    // the boundary already exists.
+    if (k[pos - 1] == t) return bi;
+    if (b.count < kBlockCap) {
+      Time* km = keys(b);
+      Power* vm = budgets(b);
+      std::copy_backward(km + pos, km + b.count, km + b.count + 1);
+      std::copy_backward(vm + pos, vm + b.count, vm + b.count + 1);
+      km[pos] = t;
+      vm[pos] = vm[pos - 1]; // the new segment inherits the floor's budget
+      ++b.count;             // maxBudget unchanged: the value already existed
+      ++size_;
+      // The earliest occurrence of maxBudget shifts right with the insert;
+      // the inserted copy can never *become* the earliest (its source sits
+      // immediately to its left).
+      if (static_cast<std::size_t>(b.argmax) >= pos) ++b.argmax;
+      return bi;
+    }
+  }
+  splitBlock(bi);
+  if (blocks_[bi + 1].firstKey <= t) ++bi;
+  Block& b = blocks_[bi];
+  const std::size_t pos = ub(keys(b), static_cast<std::size_t>(b.count), t);
+  Time* km = keys(b);
+  Power* vm = budgets(b);
+  std::copy_backward(km + pos, km + b.count, km + b.count + 1);
+  std::copy_backward(vm + pos, vm + b.count, vm + b.count + 1);
+  km[pos] = t;
+  vm[pos] = vm[pos - 1];
+  ++b.count;
+  ++size_;
+  if (static_cast<std::size_t>(b.argmax) >= pos) ++b.argmax;
+  return bi;
+}
 
 void BudgetTree::splitAt(Time t) {
   if (t <= 0 || t >= horizon_) return;
-  Impl& I = *impl_;
-  if (!I.boundaryBits.empty()) {
-    const auto ut = static_cast<std::size_t>(t);
-    std::uint64_t& word = I.boundaryBits[ut >> 6];
-    const std::uint64_t bit = std::uint64_t{1} << (ut & 63);
-    if (word & bit) return; // boundary already exists — skip the descent
-    word |= bit;
-  }
-  // Single descent along the BST search path for t, pushing lazy down as
-  // we go. The path visits the floor of t (the last node with key < t
-  // where the descent turns right), so its budget — the budget the new
-  // segment inherits — is captured in passing; a key == t hit aborts with
-  // values observationally unchanged (push only materialises pending
-  // lazy). The new node is attached as a leaf and rotated up while its
-  // heap priority demands, the expected-O(1) treap insertion.
-  auto& path = I.pathScratch;
-  path.clear();
-  std::int32_t i = I.root;
-  Power floorBudget = 0;
-  bool haveFloor = false;
-  while (i != kNil) {
-    I.push(i);
-    const Node& n = I.at(i);
-    if (n.key == t) return; // already a boundary
-    path.push_back(i);
-    if (n.key < t) {
-      floorBudget = n.budget;
-      haveFloor = true;
-      i = n.right;
-    } else {
-      i = n.left;
-    }
-  }
-  CAWO_ASSERT(haveFloor, "no segment contains t");
-  const auto node = static_cast<std::int32_t>(I.pool.size());
-  I.pool.emplace_back(t, floorBudget, I.rng.next());
-  {
-    Node& leafParent = I.at(path.back());
-    (t < leafParent.key ? leafParent.left : leafParent.right) = node;
-  }
-
-  std::size_t d = path.size();
-  while (d > 0) {
-    const std::int32_t pi = path[d - 1];
-    if (I.at(node).prio <= I.at(pi).prio) {
-      // Heap order satisfied — repair the aggregates of the remaining
-      // ancestors and stop.
-      for (std::size_t k = d; k > 0; --k) I.pull(path[k - 1]);
-      return;
-    }
-    // Rotate `node` above its parent. Both have zero lazy (pushed on the
-    // way down / fresh), so the rotation is value-exact; re-parented
-    // subtrees keep their own pending lazy.
-    Node& p = I.at(pi);
-    Node& c = I.at(node);
-    if (p.left == node) {
-      p.left = c.right;
-      c.right = pi;
-    } else {
-      p.right = c.left;
-      c.left = pi;
-    }
-    I.pull(pi);
-    I.pull(node);
-    --d;
-    if (d == 0) {
-      I.root = node;
-    } else {
-      Node& g = I.at(path[d - 1]);
-      (g.left == pi ? g.left : g.right) = node;
-    }
-  }
+  (void)splitAtIdxFrom(findBlock(t), t);
 }
 
 void BudgetTree::addRange(Time a, Time b, Power delta) {
   if (a >= b || delta == 0) return;
-  impl_->addRange(impl_->root, a, b - 1, delta,
-                  std::numeric_limits<Time>::min(),
-                  std::numeric_limits<Time>::max());
+  addRangeFrom(a <= 0 ? 0 : findBlock(a), a, b, delta);
+}
+
+void BudgetTree::addRangeFrom(std::size_t start, Time a, Time b,
+                              Power delta) {
+  const Time hi = b - 1; // keys in [a, hi]
+  const std::size_t nb = blocks_.size();
+  for (std::size_t bi = start; bi < nb && blocks_[bi].firstKey <= hi; ++bi) {
+    Block& blk = blocks_[bi];
+    // Full-coverage test from the directory alone where possible: the
+    // next block's firstKey bounds this block's last key from above, so
+    // interior blocks never touch their slab.
+    const bool rightIn = bi + 1 < nb ? blocks_[bi + 1].firstKey <= hi + 1
+                                     : keys(blk)[blk.count - 1] <= hi;
+    if (a <= blk.firstKey && rightIn) {
+      blk.lazy += delta; // fully covered
+      continue;
+    }
+    const Time* k = keys(blk);
+    const std::size_t from =
+        a <= blk.firstKey ? 0 : ub(k, static_cast<std::size_t>(blk.count),
+                                   a - 1);
+    const std::size_t to =
+        k[blk.count - 1] <= hi ? static_cast<std::size_t>(blk.count)
+                               : ub(k, static_cast<std::size_t>(blk.count),
+                                    hi);
+    if (from >= to) continue;
+    Power* vals = budgets(blk);
+    // Incremental block max: track the touched range's (max, earliest
+    // index) before and after the add. If the block max lived outside the
+    // touched range it is unchanged; only when the touched range held it
+    // does the block need a full rescan (and even then the touched part is
+    // already known).
+    Power oldTouchedMax = kMinPower;
+    Power newTouchedMax = kMinPower;
+    std::size_t newArg = from;
+    for (std::size_t j = from; j < to; ++j) {
+      oldTouchedMax = std::max(oldTouchedMax, vals[j]);
+      vals[j] += delta;
+      if (vals[j] > newTouchedMax) {
+        newTouchedMax = vals[j];
+        newArg = j;
+      }
+    }
+    if (newTouchedMax > blk.maxBudget) {
+      // Untouched entries are all <= the old max < newTouchedMax, so the
+      // earliest witness lives inside the touched range.
+      blk.maxBudget = newTouchedMax;
+      blk.argmax = static_cast<std::int32_t>(newArg);
+    } else if (oldTouchedMax == blk.maxBudget) {
+      // The touched range held the block max; recompute it. Pure max first
+      // (this loop vectorizes), earliest witness second (early exit: the
+      // scan stops at the new argmax).
+      Power m = newTouchedMax;
+      for (std::size_t j = 0; j < from; ++j) m = std::max(m, vals[j]);
+      for (std::size_t j = to; j < static_cast<std::size_t>(blk.count); ++j)
+        m = std::max(m, vals[j]);
+      blk.maxBudget = m;
+      std::size_t arg = 0;
+      while (vals[arg] != m) ++arg;
+      blk.argmax = static_cast<std::int32_t>(arg);
+    } else if (newTouchedMax == blk.maxBudget &&
+               static_cast<std::int32_t>(newArg) < blk.argmax) {
+      // A positive delta can lift a touched entry up to the (unchanged)
+      // block max at an earlier index than the current witness.
+      blk.argmax = static_cast<std::int32_t>(newArg);
+    }
+  }
 }
 
 void BudgetTree::consume(Time a, Time b, Power amount) {
   if (a >= b || amount == 0) return;
   CAWO_REQUIRE(a >= 0 && b <= horizon_, "consume outside horizon");
-  splitAt(a);
-  splitAt(b);
-  addRange(a, b, -amount);
+  consumeFrom(a <= 0 ? 0 : findBlock(a), a, b, amount);
+}
+
+void BudgetTree::consume(Time a, Time b, Power amount, std::uint32_t hint) {
+  if (a >= b || amount == 0) return;
+  CAWO_REQUIRE(a >= 0 && b <= horizon_, "consume outside horizon");
+  CAWO_ASSERT(hint < blocks_.size() && blocks_[hint].firstKey <= a,
+              "consume: stale hint");
+  consumeFrom(hint, a, b, amount);
+}
+
+void BudgetTree::consumeFrom(std::size_t bi, Time a, Time b, Power amount) {
+  // Fused walk: one directory search total. The split at a returns a's
+  // block; b lies at most a few blocks later, so its split walks forward
+  // from there; the subtraction then reuses a's position. (If the split at
+  // b divides a's own block, the walk may start one block early; the
+  // per-block from/to clamps make that a no-op.)
+  const std::size_t bia = splitAtIdxFrom(bi, a);
+  (void)splitAtIdxFrom(bia, b);
+  addRangeFrom(bia, a, b, -amount);
 }
 
 BudgetTree::MaxResult BudgetTree::maxInRange(Time lo, Time hi) const {
   MaxResult res;
   if (lo > hi) return res;
-  Impl::RangeBest best;
-  impl_->rangeBest(impl_->root, lo, hi, 0, std::numeric_limits<Time>::min(),
-                   std::numeric_limits<Time>::max(), best);
-  if (best.budget == kMinPower) return res;
-  if (best.subtree != kNil)
-    impl_->argmaxInSubtree(best.subtree, best.subAcc, best.budget, best.key);
+  Power best = kMinPower;
+  Time bestKey = 0;
+  std::uint32_t bestBi = 0;
+  // Left-to-right scan with a strictly-greater update: ties resolve to the
+  // earliest segment by construction. Fully covered blocks are answered by
+  // their summary alone (interior blocks prove coverage from the next
+  // block's firstKey, and `argmax` names the earliest witness without a
+  // slab scan); only the (≤2) edge blocks are descended into.
+  const std::size_t nb = blocks_.size();
+  for (std::size_t bi = lo <= 0 ? 0 : findBlock(lo);
+       bi < nb && blocks_[bi].firstKey <= hi; ++bi) {
+    const Block& blk = blocks_[bi];
+    const bool rightIn = bi + 1 < nb ? blocks_[bi + 1].firstKey <= hi + 1
+                                     : keys(blk)[blk.count - 1] <= hi;
+    if (lo <= blk.firstKey && rightIn) {
+      const Power m = blk.maxBudget + blk.lazy;
+      if (m > best) {
+        best = m;
+        bestKey = keys(blk)[blk.argmax];
+        bestBi = static_cast<std::uint32_t>(bi);
+      }
+      continue;
+    }
+    const Time* k = keys(blk);
+    const std::size_t from =
+        lo <= blk.firstKey ? 0 : ub(k, static_cast<std::size_t>(blk.count),
+                                    lo - 1);
+    const std::size_t to =
+        k[blk.count - 1] <= hi ? static_cast<std::size_t>(blk.count)
+                               : ub(k, static_cast<std::size_t>(blk.count),
+                                    hi);
+    const Power* vals = budgets(blk);
+    for (std::size_t j = from; j < to; ++j) {
+      const Power v = vals[j] + blk.lazy;
+      if (v > best) {
+        best = v;
+        bestKey = k[j];
+        bestBi = static_cast<std::uint32_t>(bi);
+      }
+    }
+  }
+  if (best == kMinPower) return res;
   res.found = true;
-  res.budget = best.budget;
-  res.begin = best.key;
+  res.begin = bestKey;
+  res.budget = best;
+  res.block = bestBi;
   return res;
 }
 
 Power BudgetTree::budgetAt(Time t) const {
   CAWO_REQUIRE(t >= 0 && t < horizon_, "time outside horizon");
-  Power budget = 0;
-  const std::int32_t n = impl_->floorNode(t, budget);
-  CAWO_ASSERT(n != kNil, "no segment contains t");
-  return budget;
+  const Block& b = blocks_[findBlock(t)];
+  const std::size_t pos = ub(keys(b), static_cast<std::size_t>(b.count), t);
+  CAWO_ASSERT(pos >= 1, "no segment contains t");
+  return budgets(b)[pos - 1] + b.lazy;
 }
-
-std::size_t BudgetTree::size() const { return impl_->pool.size(); }
 
 std::vector<std::pair<Time, Power>> BudgetTree::dump() const {
   std::vector<std::pair<Time, Power>> out;
-  out.reserve(impl_->pool.size());
-  // Iterative in-order walk with explicit lazy accumulation.
-  struct Frame {
-    std::int32_t node;
-    Power acc;
-    bool expanded;
-  };
-  std::vector<Frame> stack;
-  if (impl_->root != kNil) stack.push_back({impl_->root, 0, false});
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
-    if (f.node == kNil) continue;
-    const Node& n = impl_->at(f.node);
-    const Power acc = f.acc + n.lazy;
-    if (f.expanded) {
-      out.emplace_back(n.key, n.budget + acc);
-      continue;
-    }
-    // In-order: right first on the stack, then self, then left.
-    if (n.right != kNil) stack.push_back({n.right, acc, false});
-    stack.push_back({f.node, f.acc, true});
-    if (n.left != kNil) stack.push_back({n.left, acc, false});
+  out.reserve(size_);
+  for (const Block& b : blocks_) {
+    const Time* k = keys(b);
+    const Power* v = budgets(b);
+    for (std::int32_t j = 0; j < b.count; ++j)
+      out.emplace_back(k[j], v[j] + b.lazy);
   }
   return out;
 }

@@ -93,11 +93,17 @@ std::vector<Schedule> runVariants(const SolveContext& ctx,
   (void)ctx.asapMakespan();
   (void)ctx.sumWorkPower();
   bool anyRefined = false;
+  bool anyUnrefined = false;
   for (const VariantSpec& spec : specs) {
     anyRefined = anyRefined || spec.refined;
+    anyUnrefined = anyUnrefined || !spec.refined;
     (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
   }
-  if (anyRefined) (void)ctx.refinedIntervals(params.blockSize);
+  if (anyRefined) {
+    (void)ctx.refinedIntervals(params.blockSize);
+    (void)ctx.budgetTreePrototype(true, params.blockSize);
+  }
+  if (anyUnrefined) (void)ctx.budgetTreePrototype(false, params.blockSize);
 
   // The variant fan-out owns the workers; keep the kernels inside each
   // variant serial so a 16-way batch never oversubscribes the machine.

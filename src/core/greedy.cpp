@@ -14,24 +14,11 @@ namespace {
 /// The greedy's working budget timeline: the (possibly k-block-refined)
 /// interval set loaded into a BudgetTree. Shared by the offline and the
 /// residual greedy so both consume from an identically seeded timeline —
-/// the actual == forecast parity pin depends on that.
+/// the actual == forecast parity pin depends on that. The context memoizes
+/// one built prototype per interval set; each run mutates a plain copy.
 BudgetTree makeBudgetTree(const SolveContext& ctx,
                           const GreedyOptions& opts) {
-  const PowerProfile& profile = ctx.profile();
-  std::vector<Time> begins;
-  std::vector<Power> budgets;
-  const std::span<const Interval> working =
-      opts.refined ? std::span<const Interval>(
-                         ctx.refinedIntervals(opts.blockSize))
-                   : profile.intervals();
-  begins.reserve(working.size());
-  budgets.reserve(working.size());
-  for (const Interval& iv : working) {
-    begins.push_back(iv.begin);
-    budgets.push_back(iv.green);
-  }
-  return BudgetTree(std::move(begins), std::move(budgets),
-                    profile.horizon());
+  return ctx.budgetTreePrototype(opts.refined, opts.blockSize);
 }
 
 } // namespace
@@ -73,7 +60,12 @@ Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
     const Time finish = start + gc.len(v);
     // Split the first/last touched interval at the task's boundaries, then
     // reduce the budget of every covered interval by the processor's draw.
-    tree.consume(start, std::min(finish, profile.horizon()), gc.drawPower(v));
+    // The winner's directory locator skips the re-search for start's block.
+    const Time end = std::min(finish, profile.horizon());
+    if (best.found)
+      tree.consume(start, end, gc.drawPower(v), best.block);
+    else
+      tree.consume(start, end, gc.drawPower(v));
 
     // The update after the last placement is dead — no window is read
     // again — so it is skipped entirely.
@@ -146,8 +138,14 @@ Schedule scheduleGreedyResidual(const SolveContext& ctx,
 
     const Time finish = start + gc.len(v);
     const ProcId p = gc.procOf(v);
-    tree.consume(start, std::min(finish, profile.horizon()),
-                 gc.idlePower(p) + gc.workPower(p));
+    const Time end = std::min(finish, profile.horizon());
+    const Power draw = gc.idlePower(p) + gc.workPower(p);
+    // `start == best.begin` only when the query found a segment; the
+    // locator is only valid then.
+    if (best.found && start == best.begin)
+      tree.consume(start, end, draw, best.block);
+    else
+      tree.consume(start, end, draw);
 
     if (--movable > 0) windows.place(v, start);
   }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <memory>
 
 #include "util/parallel.hpp"
 #include "util/require.hpp"
@@ -22,7 +21,11 @@ void emitCutsForProc(const EnhancedGraph& gc,
   if (np == 0) return;
 
   // Prefix lengths of the processor's task sequence for O(1) block sums.
-  std::vector<Time> prefix(np + 1, 0);
+  // Thread-local so the worker that handles many processors allocates the
+  // buffer once, not once per processor.
+  thread_local std::vector<Time> prefix;
+  prefix.resize(np + 1);
+  prefix[0] = 0;
   for (std::size_t i = 0; i < np; ++i)
     prefix[i + 1] = prefix[i] + gc.len(order[i]);
 
@@ -64,34 +67,38 @@ constexpr Time kDenseHorizonLimit = Time(1) << 26;
 
 std::vector<Time> refinementCutPoints(const EnhancedGraph& gc,
                                       const PowerProfile& profile, int k,
-                                      unsigned threads) {
+                                      unsigned threads,
+                                      RefinementScratch* scratch) {
   CAWO_REQUIRE(k >= 1, "block size must be at least 1");
   const Time horizon = profile.horizon();
   const std::vector<Time> boundaries = profile.boundaries();
   const std::size_t numProcs = static_cast<std::size_t>(gc.numProcs());
 
   if (horizon > 0 && horizon <= kDenseHorizonLimit) {
-    // Dense path: one relaxed-atomic byte per time unit. Relaxed is enough —
-    // every writer stores the same value and parallelFor's join synchronises
-    // the readers below.
+    // Dense path: one byte per time unit, written through relaxed
+    // `atomic_ref`s. Relaxed is enough — every writer stores the same value
+    // and parallelFor's join synchronises the (plain) readers below. The
+    // table lives in the caller's scratch when given, so repeated
+    // refinements reuse the allocation instead of faulting a fresh one.
     const auto n = static_cast<std::size_t>(horizon);
-    std::unique_ptr<std::atomic<std::uint8_t>[]> marks(
-        new std::atomic<std::uint8_t>[n]());
+    RefinementScratch local;
+    RefinementScratch& s = scratch != nullptr ? *scratch : local;
+    s.marks.assign(n, 0);
+    std::uint8_t* const marks = s.marks.data();
     parallelFor(numProcs, threads, [&](std::size_t p) {
       emitCutsForProc(gc, boundaries, horizon, k, static_cast<ProcId>(p),
                       [&](Time t) {
-                        marks[static_cast<std::size_t>(t)].store(
-                            1, std::memory_order_relaxed);
+                        std::atomic_ref<std::uint8_t>(
+                            marks[static_cast<std::size_t>(t)])
+                            .store(1, std::memory_order_relaxed);
                       });
     });
     // Times that are already interval boundaries are not *new* cut points.
     for (const Time b : boundaries)
-      if (b > 0 && b < horizon)
-        marks[static_cast<std::size_t>(b)].store(0, std::memory_order_relaxed);
+      if (b > 0 && b < horizon) marks[static_cast<std::size_t>(b)] = 0;
     std::vector<Time> fresh;
     for (std::size_t t = 1; t < n; ++t)
-      if (marks[t].load(std::memory_order_relaxed))
-        fresh.push_back(static_cast<Time>(t));
+      if (marks[t]) fresh.push_back(static_cast<Time>(t));
     return fresh;
   }
 
@@ -139,8 +146,10 @@ std::vector<Interval> splitIntervalsAt(std::span<const Interval> intervals,
 
 std::vector<Interval> refineIntervals(const EnhancedGraph& gc,
                                       const PowerProfile& profile, int k,
-                                      unsigned threads) {
-  const std::vector<Time> cuts = refinementCutPoints(gc, profile, k, threads);
+                                      unsigned threads,
+                                      RefinementScratch* scratch) {
+  const std::vector<Time> cuts =
+      refinementCutPoints(gc, profile, k, threads, scratch);
   return splitIntervalsAt(profile.intervals(), cuts);
 }
 

@@ -14,11 +14,6 @@ namespace cawo {
 
 namespace {
 
-/// Candidate scans below this width stay serial: spawning a fork/join
-/// team costs far more than probing a paper-default µ = 10 window. Wide
-/// scans (large radii) fan out across `opts.threads`.
-constexpr std::size_t kParallelScanMinCandidates = 256;
-
 /// Legal start window of `v` against the *current* starts of its
 /// neighbours (Gc's per-processor chain edges make this subsume
 /// exclusivity), clamped to ±radius around the current start.
@@ -66,12 +61,23 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
                              valid.message);
 
   PowerTimeline timeline(profile, gc.totalIdlePower());
-  for (TaskId u = 0; u < gc.numNodes(); ++u)
-    timeline.addLoad(schedule.start(u), schedule.end(u, gc),
-                     gc.workPower(gc.procOf(u)));
+  {
+    std::vector<PowerTimeline::Load> loads;
+    loads.reserve(static_cast<std::size_t>(gc.numNodes()));
+    for (TaskId u = 0; u < gc.numNodes(); ++u)
+      loads.push_back({schedule.start(u), schedule.end(u, gc),
+                       gc.workPower(gc.procOf(u))});
+    timeline.addLoads(loads);
+  }
 
   LocalSearchStats stats;
   stats.initialCost = timeline.totalCost();
+
+  // Per-climb candidate-scan workspace, reused across every task so the
+  // inner loop performs no steady-state allocation.
+  std::vector<CandidateInterval> cands;
+  std::vector<Cost> deltas;
+  PowerTimeline::PeekScratch peek;
 
   // Costliest processors first (paper: non-increasing P_work).
   std::vector<ProcId> procs(static_cast<std::size_t>(gc.numProcs()));
@@ -96,47 +102,31 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
 
         Time bestTarget = cur;
         Cost bestDelta = 0;
-        const std::size_t count =
-            hi >= lo ? static_cast<std::size_t>(hi - lo) + 1 : 0;
-        if (opts.threads != 1 && count >= kParallelScanMinCandidates) {
-          // Order-preserving parallel scan: candidates are evaluated on a
-          // *shared read-only* timeline and reduced by candidate index, so
-          // the chosen move is the one the serial loop below would pick —
-          // for BestImprovement the earliest minimum delta, for
-          // FirstImprovement the earliest improving delta.
-          const auto eval = [&](std::size_t i) -> Cost {
+        if (hi >= lo) {
+          // Batched probe: one prefix table over the candidate window
+          // serves every target in O(1), so the scan is O(segments in
+          // window + candidates) regardless of radius — the former
+          // per-candidate segment walks (and the parallel wide-scan
+          // fan-out that amortised them) are gone. Selection over the
+          // delta array replays the serial order exactly: earliest
+          // minimum for BestImprovement, earliest improving delta for
+          // FirstImprovement.
+          cands.clear();
+          for (Time t = lo; t <= hi; ++t) cands.push_back({t, t + len});
+          deltas.resize(cands.size());
+          timeline.peekMoveDeltas(cur, cur + len, w, cands, peek, deltas);
+          for (std::size_t i = 0; i < cands.size(); ++i) {
             const Time t = lo + static_cast<Time>(i);
-            if (t == cur) return 0;
-            return timeline.peekMoveDelta(cur, cur + len, t, t + len, w);
-          };
-          Cost best = 0;
-          const auto better =
-              opts.strategy == MoveStrategy::BestImprovement
-                  ? +[](const Cost& x, const Cost& y) { return x < y; }
-                  : +[](const Cost& x, const Cost& y) {
-                      return x < 0 && y >= 0;
-                    };
-          const std::size_t idx = parallelOrderedBest<Cost>(
-              count, opts.threads, Cost{0}, eval, better, &best);
-          if (idx != count) {
-            bestDelta = best;
-            bestTarget = lo + static_cast<Time>(idx);
-          }
-        } else {
-          for (Time t = lo; t <= hi; ++t) {
             if (t == cur) continue;
-            const Cost delta =
-                timeline.peekMoveDelta(cur, cur + len, t, t + len, w);
-            if (delta < bestDelta) {
-              bestDelta = delta;
+            if (deltas[i] < bestDelta) {
+              bestDelta = deltas[i];
               bestTarget = t;
               if (opts.strategy == MoveStrategy::FirstImprovement) break;
             }
           }
         }
         if (bestDelta < 0) {
-          timeline.removeLoad(cur, cur + len, w);
-          timeline.addLoad(bestTarget, bestTarget + len, w);
+          timeline.applyMove(cur, cur + len, bestTarget, bestTarget + len, w);
           schedule.setStart(v, bestTarget);
           ++stats.movesApplied;
           improved = true;

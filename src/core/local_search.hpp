@@ -33,10 +33,11 @@ struct LocalSearchOptions {
   MoveStrategy strategy = MoveStrategy::FirstImprovement;
 
   /// Worker threads (0 = hardware concurrency). Used for the restart
-  /// fan-out of `localSearchRestarts` and, within one climb, for wide
-  /// candidate scans. Results are bit-identical for every value: both
-  /// reductions are order-preserving with ties broken by candidate index
-  /// / restart index, never by completion order.
+  /// fan-out of `localSearchRestarts`; one climb's candidate scan is
+  /// served by the batched `peekMoveDeltas` prefix table (O(1) per
+  /// candidate) and stays serial at any width. Results are bit-identical
+  /// for every value: the restart merge is order-preserving with ties
+  /// broken by restart index, never by completion order.
   unsigned threads = 1;
 
   /// Independent hill-climbing restarts for `localSearchRestarts`.

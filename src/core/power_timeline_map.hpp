@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+
+#include "core/power_profile.hpp"
+#include "util/types.hpp"
+
+/// \file power_timeline_map.hpp
+/// The historical `std::map<Time, Segment>`-backed power timeline, retained
+/// verbatim as the property-test oracle for the flat array-backed
+/// `PowerTimeline`. Every cost is an exact 64-bit integer and both
+/// implementations accumulate per-segment terms left to right, so the two
+/// must agree bit-for-bit on `totalCost`, `costInRange`, `moveDelta` and
+/// `peekMoveDelta` over any trace of operations — the randomized
+/// trace-equivalence test in tests/test_power_timeline.cpp pins exactly
+/// that. Not used by any solver; test-only.
+
+namespace cawo {
+
+class MapPowerTimeline {
+public:
+  MapPowerTimeline(const PowerProfile& profile, Power basePower);
+
+  void addLoad(Time a, Time b, Power work);
+  void removeLoad(Time a, Time b, Power work);
+
+  Cost totalCost() const { return total_; }
+  Cost costInRange(Time a, Time b) const;
+
+  /// Mutate-and-revert probe (the historical `moveDelta`): leaves the
+  /// totals unchanged but permanently accumulates split boundaries — the
+  /// residue leak the flat implementation fixes.
+  Cost moveDelta(Time a, Time b, Time a2, Time b2, Power work);
+
+  /// Read-only probe over the affected segment pieces.
+  Cost peekMoveDelta(Time a, Time b, Time a2, Time b2, Power work) const;
+
+  Time horizon() const { return horizon_; }
+  std::size_t numSegments() const { return segments_.size(); }
+
+private:
+  struct Segment {
+    Power active = 0;
+    Power green = 0;
+  };
+
+  using SegMap = std::map<Time, Segment>;
+
+  void splitAt(Time t);
+  Cost segmentCost(SegMap::const_iterator it) const;
+
+  SegMap segments_; // key = segment begin; a sentinel at `horizon_` ends it
+  Power base_ = 0;
+  Time horizon_ = 0;
+  Cost total_ = 0;
+};
+
+} // namespace cawo

@@ -63,8 +63,32 @@ const std::vector<Interval>& SolveContext::refinedIntervals(
   if (it != refinedByBlockSize_.end()) return it->second;
   requireUnfrozen("refinedIntervals");
   return refinedByBlockSize_
-      .emplace(blockSize,
-               refineIntervals(*gc_, *profile_, blockSize, threads_))
+      .emplace(blockSize, refineIntervals(*gc_, *profile_, blockSize,
+                                          threads_, &refineScratch_))
+      .first->second;
+}
+
+const BudgetTree& SolveContext::budgetTreePrototype(bool refined,
+                                                    int blockSize) const {
+  const int key = refined ? blockSize : -1;
+  const auto it = budgetTrees_.find(key);
+  if (it != budgetTrees_.end()) return it->second;
+  requireUnfrozen("budgetTreePrototype");
+  const std::span<const Interval> working =
+      refined ? std::span<const Interval>(refinedIntervals(blockSize))
+              : profile_->intervals();
+  std::vector<Time> begins;
+  std::vector<Power> budgets;
+  begins.reserve(working.size());
+  budgets.reserve(working.size());
+  for (const Interval& iv : working) {
+    begins.push_back(iv.begin);
+    budgets.push_back(iv.green);
+  }
+  return budgetTrees_
+      .emplace(key, BudgetTree(std::span<const Time>(begins),
+                               std::span<const Power>(budgets),
+                               profile_->horizon()))
       .first->second;
 }
 

@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/budget_tree.hpp"
 #include "core/enhanced_graph.hpp"
 #include "core/est_lst.hpp"
+#include "core/interval_refinement.hpp"
 #include "core/power_profile.hpp"
 #include "core/scores.hpp"
 #include "util/types.hpp"
@@ -75,6 +77,13 @@ public:
   /// (base, weighted) — identical to `scoreOrder` on the initial windows.
   const std::vector<TaskId>& scoreOrder(const ScoreOptions& opts) const;
 
+  /// A built budget timeline over the working interval set (refined per
+  /// `blockSize`, or the raw profile intervals), memoized per
+  /// configuration. Greedy runs start from a plain copy of the prototype —
+  /// three vector copies — instead of re-deriving and re-building the
+  /// segment store on every solve.
+  const BudgetTree& budgetTreePrototype(bool refined, int blockSize) const;
+
   /// A fresh incremental window state seeded from the memoized initial
   /// windows (no Kahn passes) — one per greedy run.
   WindowState windowState() const;
@@ -107,7 +116,11 @@ private:
   mutable Time asapMakespan_ = -1;
   mutable Power sumWorkPower_ = -1;
   mutable std::map<int, std::vector<Interval>> refinedByBlockSize_;
+  /// Dense mark table reused by every refinement this context computes.
+  mutable RefinementScratch refineScratch_;
   mutable std::map<std::pair<int, bool>, std::vector<TaskId>> orders_;
+  /// key: blockSize for refined sets, −1 for the raw profile intervals.
+  mutable std::map<int, BudgetTree> budgetTrees_;
   mutable bool frozen_ = false;
   unsigned threads_ = 1;
 };

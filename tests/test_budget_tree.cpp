@@ -141,13 +141,26 @@ TEST_P(BudgetTreeFuzz, MatchesNaiveReference) {
   NaiveBudget naive(begins, budgets, horizon);
 
   for (int op = 0; op < 300; ++op) {
-    const int kind = static_cast<int>(rng.uniformInt(0, 2));
+    const int kind = static_cast<int>(rng.uniformInt(0, 3));
     if (kind == 0) {
       const Time a = rng.uniformInt(0, horizon - 1);
       const Time b = rng.uniformInt(a + 1, horizon);
       const Power amt = rng.uniformInt(1, 10);
       tree.consume(a, b, amt);
       naive.consume(a, b, amt);
+    } else if (kind == 3) {
+      // The greedy hot-loop pattern: query, then consume starting at the
+      // winner using its directory locator as the hint.
+      const Time lo = rng.uniformInt(0, horizon - 1);
+      const Time hi = rng.uniformInt(lo, horizon - 1);
+      const auto best = tree.maxInRange(lo, hi);
+      if (best.found) {
+        const Time end =
+            std::min<Time>(best.begin + rng.uniformInt(1, 15), horizon);
+        const Power amt = rng.uniformInt(1, 10);
+        tree.consume(best.begin, end, amt, best.block);
+        naive.consume(best.begin, end, amt);
+      }
     } else if (kind == 1) {
       const Time lo = rng.uniformInt(0, horizon - 1);
       const Time hi = rng.uniformInt(lo, horizon - 1);

@@ -4,6 +4,7 @@
 
 #include "core/carbon_cost.hpp"
 #include "core/power_timeline.hpp"
+#include "core/power_timeline_map.hpp"
 #include "test_util.hpp"
 
 namespace cawo {
@@ -129,6 +130,178 @@ TEST(PowerTimeline, ZeroWidthOrZeroPowerLoadsAreNoOps) {
   t.addLoad(2, 8, 0);
   EXPECT_EQ(t.totalCost(), 0);
   EXPECT_EQ(t.numSegments(), segsBefore);
+}
+
+// Property: the flat timeline and the retained std::map implementation
+// agree bit-for-bit on every observable over a randomized operation trace
+// (the map oracle pins the flat rewrite). Horizon-edge and zero-length
+// spans are drawn deliberately often.
+TEST(PowerTimeline, TraceEquivalenceVsMapOracle) {
+  Rng rng(0xf1a7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Time horizon = rng.uniformInt(8, 80);
+    const PowerProfile p = randomProfile(horizon, 5, 0, 10, rng);
+    const Power base = rng.uniformInt(0, 4);
+    PowerTimeline flat(p, base);
+    MapPowerTimeline oracle(p, base);
+    ASSERT_EQ(flat.totalCost(), oracle.totalCost());
+
+    // Spans biased towards the horizon edges and the empty case.
+    const auto randSpan = [&](Time& a, Time& b) {
+      switch (rng.uniformInt(0, 5)) {
+      case 0: a = 0; break;                          // starts at the edge
+      default: a = rng.uniformInt(0, horizon); break;
+      }
+      switch (rng.uniformInt(0, 5)) {
+      case 0: b = a; break;                          // zero-length
+      case 1: b = horizon; break;                    // ends at the edge
+      default: b = rng.uniformInt(a, horizon); break;
+      }
+    };
+
+    std::vector<PowerTimeline::Load> live;
+    for (int step = 0; step < 150; ++step) {
+      Time a, b;
+      randSpan(a, b);
+      switch (rng.uniformInt(0, 5)) {
+      case 0:
+      case 1: { // add (work 0 exercises the no-op path)
+        const Power w = rng.uniformInt(0, 6);
+        flat.addLoad(a, b, w);
+        oracle.addLoad(a, b, w);
+        if (a < b && w > 0) live.push_back({a, b, w});
+        break;
+      }
+      case 2: { // remove a previously added load
+        if (live.empty()) break;
+        const auto i =
+            static_cast<std::size_t>(rng.uniformInt(0, live.size() - 1));
+        const auto [la, lb, lw] = live[i];
+        flat.removeLoad(la, lb, lw);
+        oracle.removeLoad(la, lb, lw);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 3: { // read-only probe
+        Time a2, b2;
+        randSpan(a2, b2);
+        const Power w = rng.uniformInt(0, 5);
+        EXPECT_EQ(flat.peekMoveDelta(a, b, a2, b2, w),
+                  oracle.peekMoveDelta(a, b, a2, b2, w))
+            << "peek [" << a << "," << b << ")->[" << a2 << "," << b2
+            << ") w=" << w;
+        break;
+      }
+      case 4: { // moveDelta (mutate-and-revert on the oracle, pure here)
+        Time a2, b2;
+        randSpan(a2, b2);
+        const Power w = rng.uniformInt(0, 5);
+        EXPECT_EQ(flat.moveDelta(a, b, a2, b2, w),
+                  oracle.moveDelta(a, b, a2, b2, w));
+        break;
+      }
+      case 5: { // sliced cost
+        EXPECT_EQ(flat.costInRange(a, b), oracle.costInRange(a, b));
+        break;
+      }
+      }
+      ASSERT_EQ(flat.totalCost(), oracle.totalCost())
+          << "trial " << trial << " step " << step;
+    }
+
+    // Drain every load: both must return exactly to the idle floor, and
+    // coalescing must have folded the flat timeline back to at most the
+    // profile's own change points — no residue from any probe or edit.
+    for (const auto& [la, lb, lw] : live) {
+      flat.removeLoad(la, lb, lw);
+      oracle.removeLoad(la, lb, lw);
+    }
+    EXPECT_EQ(flat.totalCost(), oracle.totalCost());
+    EXPECT_EQ(flat.totalCost(), p.idleFloorCost(base));
+    EXPECT_LE(flat.numSegments(), p.intervals().size());
+  }
+}
+
+// Property: the batched probe equals the scalar probe for every candidate —
+// arbitrary order, arbitrary length, empty candidates, the identity
+// candidate, and an empty source interval.
+TEST(PowerTimeline, PeekMoveDeltasMatchesScalarProbe) {
+  Rng rng(0xba7c4);
+  PowerTimeline::PeekScratch scratch;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Time horizon = rng.uniformInt(10, 100);
+    const PowerProfile p = randomProfile(horizon, 6, 0, 9, rng);
+    PowerTimeline t(p, rng.uniformInt(0, 3));
+    for (int l = 0; l < 5; ++l) {
+      const Time a = rng.uniformInt(0, horizon - 1);
+      t.addLoad(a, rng.uniformInt(a + 1, horizon), rng.uniformInt(1, 6));
+    }
+    const bool emptySource = rng.uniformInt(0, 4) == 0;
+    const Time a = rng.uniformInt(0, horizon - 1);
+    const Time b = emptySource ? a : rng.uniformInt(a + 1, horizon);
+    const Power work = rng.uniformInt(1, 5);
+
+    std::vector<CandidateInterval> cands;
+    const Time len = std::max<Time>(1, b - a);
+    for (Time c = 0; c + len <= horizon; ++c)
+      cands.push_back({c, c + len});          // the local-search sweep shape
+    cands.push_back({a, b});                  // identity move
+    for (int j = 0; j < 8; ++j) {             // arbitrary length and order
+      const Time c = rng.uniformInt(0, horizon);
+      cands.push_back({c, rng.uniformInt(c, horizon)});
+    }
+    cands.push_back({horizon, horizon});      // empty, at the edge
+
+    std::vector<Cost> out(cands.size());
+    t.peekMoveDeltas(a, b, work, cands, scratch, out);
+    for (std::size_t i = 0; i < cands.size(); ++i)
+      EXPECT_EQ(out[i],
+                t.peekMoveDelta(a, b, cands[i].begin, cands[i].end, work))
+          << "trial " << trial << " candidate [" << cands[i].begin << ","
+          << cands[i].end << ") source [" << a << "," << b << ") w=" << work;
+  }
+}
+
+// Regression for the probe-residue leak: a long churn of probes and applied
+// moves must keep the segment count bounded by the live change points —
+// profile boundaries plus two ends per live load — not grow with the number
+// of operations (the std::map implementation grew monotonically here).
+TEST(PowerTimeline, SegmentCountStaysBoundedUnderChurn) {
+  Rng rng(0x5e95);
+  const Time horizon = 200;
+  const PowerProfile p = randomProfile(horizon, 8, 0, 12, rng);
+  PowerTimeline t(p, 2);
+
+  constexpr int kLoads = 10;
+  struct LiveLoad {
+    Time begin, end;
+    Power work;
+  };
+  std::vector<LiveLoad> loads;
+  for (int i = 0; i < kLoads; ++i) {
+    const Time len = rng.uniformInt(1, 20);
+    const Time a = rng.uniformInt(0, horizon - len);
+    const Power w = rng.uniformInt(1, 6);
+    t.addLoad(a, a + len, w);
+    loads.push_back({a, a + len, w});
+  }
+  const std::size_t bound = p.intervals().size() + 2 * kLoads;
+
+  for (int step = 0; step < 500; ++step) {
+    auto& ld = loads[static_cast<std::size_t>(
+        rng.uniformInt(0, loads.size() - 1))];
+    const Time len = ld.end - ld.begin;
+    const Time a2 = rng.uniformInt(0, horizon - len);
+    // Probe first (read-only), then apply: the local-search pattern.
+    (void)t.moveDelta(ld.begin, ld.end, a2, a2 + len, ld.work);
+    t.applyMove(ld.begin, ld.end, a2, a2 + len, ld.work);
+    ld.begin = a2;
+    ld.end = a2 + len;
+    ASSERT_LE(t.numSegments(), bound) << "step " << step;
+  }
+  for (const auto& ld : loads) t.removeLoad(ld.begin, ld.end, ld.work);
+  EXPECT_EQ(t.totalCost(), p.idleFloorCost(2));
+  EXPECT_LE(t.numSegments(), p.intervals().size());
 }
 
 // Property: a timeline loaded with a whole schedule reports exactly the

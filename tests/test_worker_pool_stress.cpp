@@ -77,8 +77,10 @@ TEST(WorkerPoolStress, HundredsOfSolvesWithRandomCancellations) {
   (void)ctx.asapMakespan();
   (void)ctx.sumWorkPower();
   const std::vector<VariantSpec> variants = allVariants();
-  for (const VariantSpec& spec : variants)
+  for (const VariantSpec& spec : variants) {
     (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
+    (void)ctx.budgetTreePrototype(spec.refined, 3);
+  }
   (void)ctx.refinedIntervals(3);
 
   // Reference results, computed serially up front.
@@ -158,6 +160,7 @@ TEST(WorkerPoolStress, MidRunStopDrainsAdmittedJobs) {
   (void)ctx.asapMakespan();
   (void)ctx.sumWorkPower();
   (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
+  (void)ctx.budgetTreePrototype(spec.refined, CaWoParams{}.blockSize);
 
   std::atomic<std::size_t> ran{0};
   std::size_t admitted = 0;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON results against checked-in reference tables.
+
+Usage:
+    bench_compare.py --reference bench/reference BENCH_windows.json ...
+
+For every result file, the tool looks up the reference table with the same
+basename under --reference, matches kernels by benchmark name, and prints a
+per-kernel delta table (positive = slower than the reference).
+
+Report-only by default: the exit code is 0 no matter what the deltas say.
+The reference tables were recorded on the single dev box documented in
+bench/README.md; CI runners differ in absolute speed (and in load), so the
+CI step treats this output as a trend report for humans, not a gate. Pass
+--fail-above PCT to turn regressions beyond PCT percent into a non-zero
+exit for same-machine A/B use.
+
+Files that are not google-benchmark JSON (e.g. BENCH_serve.json, which the
+load generator writes in its own schema) are skipped with a note.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    """Return {kernel name: time in ns} for a google-benchmark JSON file,
+    or None if the file uses some other schema."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        return None
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        out[b["name"]] = float(b["real_time"]) * unit
+    return out
+
+
+def fmt(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return "%.3g %s" % (ns / scale, unit)
+    return "%.3g ns" % ns
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff benchmark JSON against reference tables")
+    ap.add_argument("--reference", required=True,
+                    help="directory holding the reference BENCH_*.json files")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                    help="exit 1 if any kernel is more than PCT%% slower "
+                         "than its reference (default: report only)")
+    ap.add_argument("results", nargs="+", help="BENCH_*.json files to check")
+    args = ap.parse_args()
+
+    worst = 0.0
+    compared = 0
+    for path in args.results:
+        name = os.path.basename(path)
+        if not os.path.exists(path):
+            print("%s: missing, skipped" % name)
+            continue
+        new = load(path)
+        if new is None:
+            print("%s: not google-benchmark JSON, skipped" % name)
+            continue
+        ref_path = os.path.join(args.reference, name)
+        if not os.path.exists(ref_path):
+            print("%s: no reference table at %s, skipped" % (name, ref_path))
+            continue
+        ref = load(ref_path)
+
+        print()
+        print("%s  (reference: %s)" % (name, ref_path))
+        print("  %-52s %>10s %>10s %>9s".replace("%>", "%") %
+              ("kernel", "ref", "new", "delta"))
+        for kernel, ns_new in new.items():
+            if kernel not in ref:
+                print("  %-52s %10s %10s   (new kernel)" %
+                      (kernel, "-", fmt(ns_new)))
+                continue
+            ns_ref = ref[kernel]
+            delta = (ns_new / ns_ref - 1.0) * 100.0
+            worst = max(worst, delta)
+            compared += 1
+            tag = ""
+            if delta >= 10.0:
+                tag = "  <-- slower"
+            elif delta <= -10.0:
+                tag = "  --> faster"
+            print("  %-52s %10s %10s %+8.1f%%%s" %
+                  (kernel, fmt(ns_ref), fmt(ns_new), delta, tag))
+        for kernel in ref:
+            if kernel not in new:
+                print("  %-52s   (in reference, absent from this run)" %
+                      kernel)
+
+    print()
+    print("compared %d kernels; worst delta %+.1f%%" % (compared, worst))
+    if args.fail_above is not None and worst > args.fail_above:
+        print("FAIL: exceeds --fail-above %.1f%%" % args.fail_above)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
