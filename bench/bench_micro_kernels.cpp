@@ -31,6 +31,7 @@
 #include "exp/campaign.hpp"
 #include "exp/store.hpp"
 #include "heft/heft.hpp"
+#include "obs/trace.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profile_source.hpp"
 #include "sim/instance.hpp"
@@ -127,6 +128,41 @@ void BM_GreedySched(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySched)->Arg(100)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond)->Complexity();
+
+// -----------------------------------------------------------------------
+// Telemetry overhead on the greedy hot path (see docs/observability.md).
+// Arg(1) selects the trace state: 0 = Off (span sites are one predicted
+// branch each — must sit within noise of the untraced BM_GreedySched
+// row), 1 = Idle (timestamps taken, nothing stored), 2 = Recording
+// (events appended to the per-thread buffer). The recorder is drained
+// between iterations outside the timed region so Recording measures
+// steady-state append cost, not reallocation of an ever-growing buffer.
+// Trajectory recorded via --out=BENCH_obs.json (see bench/README.md).
+// -----------------------------------------------------------------------
+void BM_TraceOverhead(benchmark::State& state) {
+  const Instance inst = makeInstance(static_cast<int>(state.range(0)));
+  const SolveContext ctx(inst.gc, inst.profile, inst.deadline);
+  GreedyOptions opts{BaseScore::Pressure, true, true, 3};
+  auto& recorder = obs::TraceRecorder::global();
+  const auto traceState = static_cast<obs::TraceState>(state.range(1));
+  recorder.setState(traceState);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduleGreedy(ctx, opts));
+    if (traceState == obs::TraceState::Recording) {
+      state.PauseTiming();
+      recorder.clear();
+      state.ResumeTiming();
+    }
+  }
+  recorder.setState(obs::TraceState::Off);
+  recorder.clear();
+  state.SetLabel(traceState == obs::TraceState::Off        ? "off"
+                 : traceState == obs::TraceState::Idle     ? "idle"
+                                                           : "recording");
+}
+BENCHMARK(BM_TraceOverhead)
+    ->ArgsProduct({{5000}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
 
 // -----------------------------------------------------------------------
 // Parallel solve core (see DESIGN.md, "Parallel solve core"). Both

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "exp/json.hpp"
+#include "obs/session.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "sim/table.hpp"
@@ -321,8 +322,12 @@ int main(int argc, char** argv) {
                        {"requests", "clients", "workers", "queue-capacity",
                         "cache-capacity", "distinct-instances", "tasks",
                         "intervals", "deadline-factor", "algo",
-                        "replay-every", "modes", "out"},
+                        "replay-every", "modes", "out", "trace",
+                        "trace-summary"},
                        "bench_serve_loadgen");
+
+    cawo::obs::TraceSession trace(args.getString("trace", ""),
+                                  args.has("trace-summary"));
 
     LoadConfig config;
     config.requests = static_cast<int>(args.getInt("requests", 1000));

@@ -1,6 +1,7 @@
 #include "core/cawosched.hpp"
 
 #include "core/solve_context.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
@@ -52,6 +53,9 @@ Schedule runVariant(const EnhancedGraph& gc, const PowerProfile& profile,
 
 Schedule runVariant(const SolveContext& ctx, const VariantSpec& spec,
                     const CaWoParams& params, VariantRunStats* stats) {
+  obs::TraceScope span("solve.variant");
+  if (span.recording()) span.arg("variant", spec.name());
+
   GreedyOptions gopts;
   gopts.base = spec.base;
   gopts.weighted = spec.weighted;
@@ -88,22 +92,25 @@ std::vector<Schedule> runVariants(const SolveContext& ctx,
 
   // Prime every shared artifact the fan-out will read — after this the
   // frozen context serves cache hits only.
-  (void)ctx.initialEst();
-  (void)ctx.initialLst();
-  (void)ctx.asapMakespan();
-  (void)ctx.sumWorkPower();
-  bool anyRefined = false;
-  bool anyUnrefined = false;
-  for (const VariantSpec& spec : specs) {
-    anyRefined = anyRefined || spec.refined;
-    anyUnrefined = anyUnrefined || !spec.refined;
-    (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
+  {
+    obs::TraceScope prime("context.prime");
+    (void)ctx.initialEst();
+    (void)ctx.initialLst();
+    (void)ctx.asapMakespan();
+    (void)ctx.sumWorkPower();
+    bool anyRefined = false;
+    bool anyUnrefined = false;
+    for (const VariantSpec& spec : specs) {
+      anyRefined = anyRefined || spec.refined;
+      anyUnrefined = anyUnrefined || !spec.refined;
+      (void)ctx.scoreOrder(ScoreOptions{spec.base, spec.weighted});
+    }
+    if (anyRefined) {
+      (void)ctx.refinedIntervals(params.blockSize);
+      (void)ctx.budgetTreePrototype(true, params.blockSize);
+    }
+    if (anyUnrefined) (void)ctx.budgetTreePrototype(false, params.blockSize);
   }
-  if (anyRefined) {
-    (void)ctx.refinedIntervals(params.blockSize);
-    (void)ctx.budgetTreePrototype(true, params.blockSize);
-  }
-  if (anyUnrefined) (void)ctx.budgetTreePrototype(false, params.blockSize);
 
   // The variant fan-out owns the workers; keep the kernels inside each
   // variant serial so a 16-way batch never oversubscribes the machine.

@@ -5,6 +5,7 @@
 #include "core/budget_tree.hpp"
 #include "core/est_lst.hpp"
 #include "core/solve_context.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace cawo {
@@ -30,6 +31,7 @@ Schedule scheduleGreedy(const EnhancedGraph& gc, const PowerProfile& profile,
 }
 
 Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
+  obs::TraceScope span("greedy");
   const EnhancedGraph& gc = ctx.gc();
   const PowerProfile& profile = ctx.profile();
   CAWO_REQUIRE(ctx.deadline() > 0, "deadline must be positive");
@@ -77,6 +79,7 @@ Schedule scheduleGreedy(const SolveContext& ctx, const GreedyOptions& opts) {
 Schedule scheduleGreedyResidual(const SolveContext& ctx,
                                 const GreedyOptions& opts,
                                 const GreedyResidual& residual) {
+  obs::TraceScope span("greedy.residual");
   const EnhancedGraph& gc = ctx.gc();
   const PowerProfile& profile = ctx.profile();
   CAWO_REQUIRE(ctx.deadline() > 0, "deadline must be positive");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/power_timeline.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -53,6 +54,7 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
                              const PowerProfile& profile, Time deadline,
                              Schedule& schedule,
                              const LocalSearchOptions& opts) {
+  obs::TraceScope span("ls.climb");
   CAWO_REQUIRE(opts.radius >= 0, "negative search radius");
   CAWO_REQUIRE(profile.horizon() >= deadline,
                "power profile must cover the deadline");
@@ -90,6 +92,10 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
 
   while (stats.rounds < opts.maxRounds) {
     ++stats.rounds; // counts executed passes, including the final gainless one
+    // One span per improvement pass; the batched-probe volume rides along
+    // as an arg so the probe cost is visible without per-probe events.
+    obs::TraceScope round("ls.round");
+    std::int64_t probes = 0;
     bool improved = false;
     for (const ProcId p : procs) {
       for (const TaskId v : gc.procOrder(p)) {
@@ -114,6 +120,7 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
           cands.clear();
           for (Time t = lo; t <= hi; ++t) cands.push_back({t, t + len});
           deltas.resize(cands.size());
+          probes += static_cast<std::int64_t>(cands.size());
           timeline.peekMoveDeltas(cur, cur + len, w, cands, peek, deltas);
           for (std::size_t i = 0; i < cands.size(); ++i) {
             const Time t = lo + static_cast<Time>(i);
@@ -133,6 +140,7 @@ LocalSearchStats localSearch(const EnhancedGraph& gc,
         }
       }
     }
+    round.arg("probes", probes);
     if (!improved) break;
   }
   stats.finalCost = timeline.totalCost();
@@ -145,6 +153,7 @@ LocalSearchStats localSearchRestarts(const EnhancedGraph& gc,
                                      const PowerProfile& profile,
                                      Time deadline, Schedule& schedule,
                                      const LocalSearchOptions& opts) {
+  obs::TraceScope span("ls");
   const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
   if (restarts == 1) {
     LocalSearchStats stats = localSearch(gc, profile, deadline, schedule, opts);
@@ -162,6 +171,8 @@ LocalSearchStats localSearchRestarts(const EnhancedGraph& gc,
   // own RNG stream (restart r seeds SplitMix64 at `seed + r·golden`) — so
   // the fan-out needs no synchronisation beyond the disjoint slots.
   parallelFor(restarts, opts.threads, [&](std::size_t r) {
+    obs::TraceScope restart("ls.restart");
+    restart.arg("restart", static_cast<std::int64_t>(r));
     Schedule mine = schedule;
     if (r > 0) {
       Rng rng(opts.seed +

@@ -5,6 +5,7 @@
 
 #include "core/asap.hpp"
 #include "core/interval_refinement.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace cawo {
@@ -62,6 +63,8 @@ const std::vector<Interval>& SolveContext::refinedIntervals(
   const auto it = refinedByBlockSize_.find(blockSize);
   if (it != refinedByBlockSize_.end()) return it->second;
   requireUnfrozen("refinedIntervals");
+  obs::TraceScope span("context.refine");
+  span.arg("block_size", static_cast<std::int64_t>(blockSize));
   return refinedByBlockSize_
       .emplace(blockSize, refineIntervals(*gc_, *profile_, blockSize,
                                           threads_, &refineScratch_))
@@ -74,6 +77,7 @@ const BudgetTree& SolveContext::budgetTreePrototype(bool refined,
   const auto it = budgetTrees_.find(key);
   if (it != budgetTrees_.end()) return it->second;
   requireUnfrozen("budgetTreePrototype");
+  obs::TraceScope span("context.budget_tree");
   const std::span<const Interval> working =
       refined ? std::span<const Interval>(refinedIntervals(blockSize))
               : profile_->intervals();
@@ -98,6 +102,7 @@ const std::vector<TaskId>& SolveContext::scoreOrder(
   const auto it = orders_.find(key);
   if (it != orders_.end()) return it->second;
   requireUnfrozen("scoreOrder");
+  obs::TraceScope span("context.score_order");
   return orders_
       .emplace(key,
                cawo::scoreOrder(*gc_, initialEst(), initialLst(), opts))

@@ -16,8 +16,11 @@
 #include "exp/record_sink.hpp"
 #include "exp/store.hpp"
 #include "exp/summary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/replay.hpp"
 #include "profile/profile_source.hpp"
+#include "util/timer.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
 #include "solver/registry.hpp"
@@ -128,6 +131,11 @@ void runInstanceCell(const Instance& instance,
       record.skipped = true;
       continue;
     }
+    obs::TraceScope cellSpan("campaign.cell");
+    if (cellSpan.recording()) {
+      cellSpan.arg("solver", solvers[s]);
+      cellSpan.arg("instance_hash", instanceHashHex(hash));
+    }
     const SolveResult solved = solver->solve(request);
     record.cost = solved.cost;
     record.wallMs = solved.wallMs;
@@ -188,6 +196,11 @@ void runOnlineInstanceCell(const Instance& instance,
     // replays and the clairvoyant spreading live in replayOnlinePolicies.
     std::vector<OnlineResult> row;
     if (fits) {
+      obs::TraceScope cellSpan("campaign.cell");
+      if (cellSpan.recording()) {
+        cellSpan.arg("solver", solvers[s]);
+        cellSpan.arg("instance_hash", instanceHashHex(hash));
+      }
       OnlineOptions onlineOpts;
       onlineOpts.solver = solvers[s];
       onlineOpts.runtimeNoise = spec.runtimeNoise;
@@ -261,7 +274,12 @@ void solveInstanceCells(const InstanceSpec& cell, const CampaignSpec& spec,
                         const std::vector<std::string>& cellLabels,
                         const SolverOptions& options, InstanceResult& result,
                         CampaignRecord* records) {
-  const Instance instance = buildInstance(cell);
+  obs::TraceScope span("campaign.instance");
+  if (span.recording()) span.arg("instance", cell.label());
+  const Instance instance = [&] {
+    obs::TraceScope build("campaign.build");
+    return buildInstance(cell);
+  }();
   if (spec.online) {
     runOnlineInstanceCell(instance, solverNames, spec, options, result,
                           records);
@@ -316,6 +334,7 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
   MemoryRecordSink sink(outcome.records, S);
   std::atomic<std::size_t> done{0};
   parallelFor(instances.size(), spec.threads, [&](std::size_t i) {
+    if (obs::traceRecording()) obs::traceSetThreadName("campaign-worker");
     std::vector<CampaignRecord> group(S);
     solveInstanceCells(instances[i], spec, solverNames, outcome.solvers,
                        options, outcome.results[i], group.data());
@@ -360,9 +379,12 @@ CampaignRunStats runCampaignToStore(const SolverOptions& options,
   }
 
   const std::size_t cellsToDo = pending.size() * S;
+  const std::size_t fsyncsBefore = store.fsyncCount();
+  WallTimer runTimer;
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> appended{0};
   parallelFor(pending.size(), spec.threads, [&](std::size_t k) {
+    if (obs::traceRecording()) obs::traceSetThreadName("campaign-worker");
     const std::size_t i = pending[k];
     std::size_t missing = 0;
     for (std::size_t c = 0; c < S; ++c)
@@ -379,6 +401,20 @@ CampaignRunStats runCampaignToStore(const SolverOptions& options,
 
   stats.cellsSolved = appended.load();
   stats.instancesSolved = pending.size();
+  stats.wallSec = runTimer.elapsedSec();
+  stats.fsyncs =
+      static_cast<std::int64_t>(store.fsyncCount() - fsyncsBefore);
+  if (stats.wallSec > 0) {
+    stats.cellsPerSec =
+        static_cast<double>(pending.size() * S) / stats.wallSec;
+    stats.recordsPerSec =
+        static_cast<double>(stats.cellsSolved) / stats.wallSec;
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("campaign.cells_solved")
+      .add(static_cast<std::int64_t>(pending.size() * S));
+  metrics.counter("campaign.records_appended")
+      .add(static_cast<std::int64_t>(stats.cellsSolved));
   return stats;
 }
 

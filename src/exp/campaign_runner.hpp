@@ -81,6 +81,14 @@ struct CampaignRunStats {
   std::size_t cellsSolved = 0;
   std::size_t instancesSolved = 0;///< instances solved by this run
   bool cappedByMaxCells = false;  ///< stopped early by the maxCells cap
+
+  // Throughput of this run's solve loop (obs layer; see
+  // docs/observability.md). Cells/s counts every cell solved (a resumed
+  // instance re-solves whole), records/s only the newly durable ones.
+  double wallSec = 0.0;
+  double cellsPerSec = 0.0;
+  double recordsPerSec = 0.0;
+  std::int64_t fsyncs = 0; ///< fsync syscalls issued by group commits
 };
 
 /// Run (the missing part of) the store's campaign into its shard. Only

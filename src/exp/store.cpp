@@ -14,6 +14,8 @@
 #include "core/instance_hash.hpp"
 #include "exp/json.hpp"
 #include "exp/record_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
 
@@ -506,6 +508,9 @@ void CampaignStoreWriter::appendInstance(std::size_t instanceIndex,
 
 void CampaignStoreWriter::flushLocked() {
   if (pendingSegment_.empty() && pendingIndex_.empty()) return;
+  obs::TraceScope span("store.flush");
+  if (span.recording())
+    span.arg("records", static_cast<std::int64_t>(pendingRecords_));
   const std::string segPath = segmentPath(dir_, options_.shardIndex);
   const std::string idxPath = indexPath(dir_, options_.shardIndex);
   // Segment bytes reach disk before the index lines that point into them:
@@ -515,9 +520,16 @@ void CampaignStoreWriter::flushLocked() {
   fsyncFd(segFd_, segPath);
   writeAll(idxFd_, pendingIndex_, idxPath);
   fsyncFd(idxFd_, idxPath);
+  fsyncCount_ += 2;
+  obs::MetricsRegistry::global().counter("store.fsyncs").add(2);
   pendingSegment_.clear();
   pendingIndex_.clear();
   pendingRecords_ = 0;
+}
+
+std::size_t CampaignStoreWriter::fsyncCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fsyncCount_;
 }
 
 void CampaignStoreWriter::flush() {

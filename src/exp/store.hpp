@@ -98,6 +98,10 @@ public:
   std::size_t presentCells() const;
   /// Cells this shard owns in total.
   std::size_t shardCells() const;
+  /// fsync syscalls issued by group commits so far (2 per batch: the
+  /// segment, then the index) — the durability cost knob `groupCommit`
+  /// trades against throughput; surfaced in CampaignRunStats.
+  std::size_t fsyncCount() const;
 
   std::size_t numInstances() const { return instances_.size(); }
   std::size_t stride() const { return labels_.size(); }
@@ -134,6 +138,7 @@ private:
   std::string pendingSegment_;
   std::string pendingIndex_;
   std::size_t pendingRecords_ = 0;
+  std::size_t fsyncCount_ = 0;
 };
 
 /// Read-only merged view over every shard of a store. Torn tails and

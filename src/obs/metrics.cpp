@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cawo::obs {
+
+Histogram::Histogram(std::vector<double> bucketBounds)
+    : bounds_(std::move(bucketBounds)),
+      buckets_(bounds_.empty() ? 0 : bounds_.size() + 1, 0) {}
+
+const std::vector<double>& Histogram::defaultLatencyBucketsMs() {
+  static const std::vector<double> buckets = {
+      0.1, 0.2, 0.5, 1.0,  2.0,  5.0,   10.0,  20.0,   50.0,
+      100, 200, 500, 1000, 2000, 5000.0, 10000.0};
+  return buckets;
+}
+
+void Histogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  if (!buckets_.empty()) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  }
+}
+
+void Histogram::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(samples_.size());
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Historical serve formula, byte-stable for the same samples: index
+  // floor(q * n) clamped to the last sample.
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(samples_.size()));
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+std::vector<std::int64_t> Histogram::bucketCounts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, Histogram::defaultLatencyBucketsMs());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::forEachCounter(
+    const std::function<void(const std::string&, std::int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) fn(name, c->value());
+}
+
+void MetricsRegistry::forEachGauge(
+    const std::function<void(const std::string&, std::int64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, g] : gauges_) fn(name, g->value());
+}
+
+void MetricsRegistry::forEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+void MetricsRegistry::writeText(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " count=" << h->count() << " mean=" << h->mean()
+        << " p99=" << h->percentile(0.99) << "\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->clear();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void harvestSolveStats(const std::map<std::string, std::int64_t>& stats) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("solve.count").add(1);
+  for (const auto& [key, value] : stats) {
+    registry.counter("solve.stats." + key).add(value);
+  }
+}
+
+} // namespace cawo::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+/// \file session.hpp
+/// CLI-facing lifetime wrapper around the trace recorder.
+///
+/// Every subcommand that supports tracing (`solve`, `campaign`,
+/// `replay`, `serve`, plus the loadgen bench) constructs one
+/// `TraceSession` from its `--trace=FILE` / `--trace-summary` flags.
+/// When either is requested (or the `CAWO_TRACE` environment variable
+/// names a file and no flag overrides it), the session flips the
+/// recorder to Recording for its lifetime; `finish()` writes the Chrome
+/// trace file and/or prints the hierarchical summary to stderr. The
+/// destructor finishes best-effort so early-return paths still produce
+/// the trace.
+
+namespace cawo::obs {
+
+class TraceSession {
+public:
+  /// `traceFile` empty means "no --trace flag"; the `CAWO_TRACE` env
+  /// variable then supplies the file name, if set. `summary` requests
+  /// the plain-text rollup on finish.
+  TraceSession(std::string traceFile, bool summary);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// True when tracing was requested (recorder is in Recording state).
+  bool active() const { return active_; }
+
+  /// Write the trace file (if any) and print the summary (if requested)
+  /// to `err`; turns recording off. Idempotent.
+  void finish(std::ostream& err);
+  void finish(); ///< finish(std::cerr)
+
+private:
+  std::string traceFile_;
+  bool summary_ = false;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+} // namespace cawo::obs

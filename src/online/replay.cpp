@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/carbon_cost.hpp"
+#include "obs/trace.hpp"
 #include "profile/profile_source.hpp"
 #include "solver/registry.hpp"
 #include "util/require.hpp"
@@ -224,6 +225,8 @@ double ReplayEngine::windowedDeviation() {
 }
 
 bool ReplayEngine::attemptResolve() {
+  obs::TraceScope span("replay.resolve");
+  if (span.recording()) span.arg("at", static_cast<std::int64_t>(now_));
   // Residual problem: pinned starts, effective durations (actual where
   // known, planned estimates otherwise), release at `now`, and the live
   // incrementally-maintained windows.
@@ -291,6 +294,8 @@ bool ReplayEngine::attemptResolve() {
     plan_ = solved.schedule;
     ++resolveAccepted_;
   }
+  if (span.recording())
+    span.arg("accepted", static_cast<std::int64_t>(adopt));
   return adopt;
 }
 
@@ -332,7 +337,9 @@ Time ReplayEngine::step() {
   CAWO_REQUIRE(!queue_.empty(),
                "online replay stalled: no running task but unfinished nodes");
 
+  obs::TraceScope span("replay.event");
   const Time t = queue_.top().first;
+  if (span.recording()) span.arg("at", static_cast<std::int64_t>(t));
   // Apply the whole completion batch at t in deterministic (time, id)
   // order before consulting the policy once.
   while (!queue_.empty() && queue_.top().first == t) {
@@ -368,7 +375,10 @@ OnlineResult ReplayEngine::run() {
     return result;
   }
 
-  while (!finished()) step();
+  {
+    obs::TraceScope span("replay.run");
+    while (!finished()) step();
+  }
 
   result.ran = true;
   result.actualCost =

@@ -229,6 +229,12 @@ ServeRequest RequestParser::parseStrict(const std::string& line,
         continue;
       }
     }
+    if (request.kind == ServeRequest::Kind::Stats && key == "detail") {
+      request.detail = asStringField(v, key);
+      if (!request.detail.empty() && request.detail != "full")
+        badRequest("\"detail\" must be \"\" or \"full\"");
+      continue;
+    }
     if (request.kind == ServeRequest::Kind::List && key == "what") {
       request.what = asStringField(v, key);
       if (request.what != "algos" && request.what != "scenarios" &&

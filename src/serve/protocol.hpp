@@ -76,6 +76,11 @@ struct ServeRequest {
 
   // list only: "algos" | "scenarios" | "policies".
   std::string what = "algos";
+
+  // stats only: "" (the byte-stable basic block) or "full" (appends the
+  // obs-layer extras — queue-wait percentiles and latency histograms; see
+  // docs/observability.md).
+  std::string detail;
 };
 
 const char* serveKindName(ServeRequest::Kind kind);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/instance_hash.hpp"
+#include "obs/trace.hpp"
 #include "online/policy.hpp"
 #include "online/replay.hpp"
 #include "online/result_json.hpp"
@@ -20,12 +21,43 @@ double millisBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
-/// Nearest-rank percentile over an already sorted sample.
-double percentileSorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size()));
-  return sorted[std::min(rank, sorted.size() - 1)];
+/// Fill one ServeStats::Latency block from an obs::Histogram. The
+/// nearest-rank percentiles are byte-stable with the hand-rolled code
+/// this replaced (Histogram pins the same formula).
+void fillLatency(const obs::Histogram& h, ServeStats::Latency& out) {
+  out.count = h.count();
+  if (out.count == 0) return;
+  out.meanMs = h.mean();
+  out.p50Ms = h.percentile(0.50);
+  out.p99Ms = h.percentile(0.99);
+  out.p999Ms = h.percentile(0.999);
+  out.maxMs = h.max();
+}
+
+/// Record the per-request span tree once a job is fully answered:
+/// `serve.request` spans admission → respond, with `serve.queue_wait`
+/// (admission → pickup) as its first child. Both go on a per-request
+/// nestable-async track: a request's queue time overlaps whatever the
+/// worker lane was doing for other requests, so thread-lane complete
+/// events cannot represent it. The handling window (pickup → respond)
+/// additionally gets a `serve.handle` span on the worker lane, parenting
+/// the cache-acquire / solve / respond child spans recorded inline.
+void recordRequestSpans(const ServeRequest& request, const char* kind,
+                        std::chrono::steady_clock::time_point admitted,
+                        std::chrono::steady_clock::time_point pickedUp) {
+  if (!obs::traceRecording()) return;
+  const auto finished = std::chrono::steady_clock::now();
+  static std::atomic<std::uint64_t> nextTrack{1};
+  const std::uint64_t track =
+      nextTrack.fetch_add(1, std::memory_order_relaxed);
+  std::vector<obs::TraceArg> args;
+  args.push_back(obs::TraceArg{"id", request.id, true});
+  args.push_back(obs::TraceArg{"kind", kind, true});
+  args.push_back(obs::TraceArg{"solver", request.algo, true});
+  obs::traceAsyncSpanBetween("serve.request", track, admitted, finished,
+                             std::move(args));
+  obs::traceAsyncSpanBetween("serve.queue_wait", track, admitted, pickedUp);
+  obs::traceSpanBetween("serve.handle", pickedUp, finished);
 }
 
 } // namespace
@@ -108,6 +140,40 @@ void ServeServer::submitLine(const std::string& line, Responder respond) {
         w.key("p999_ms").value(s.latency.p999Ms);
         w.key("max_ms").value(s.latency.maxMs);
         w.endObject();
+        // Everything above is byte-stable; detail:"full" only appends.
+        if (request.detail == "full") {
+          w.key("queue_wait");
+          w.beginObject();
+          w.key("count").value(s.queueWait.count);
+          w.key("mean_ms").value(s.queueWait.meanMs);
+          w.key("p50_ms").value(s.queueWait.p50Ms);
+          w.key("p99_ms").value(s.queueWait.p99Ms);
+          w.key("p999_ms").value(s.queueWait.p999Ms);
+          w.key("max_ms").value(s.queueWait.maxMs);
+          w.endObject();
+          w.key("latency_histogram");
+          w.beginObject();
+          w.key("bounds_ms");
+          w.beginArray();
+          for (const double b : s.latencyBoundsMs) w.value(b);
+          w.endArray();
+          w.key("counts");
+          w.beginArray();
+          for (const std::int64_t c : s.latencyBuckets) w.value(c);
+          w.endArray();
+          w.endObject();
+          w.key("queue_wait_histogram");
+          w.beginObject();
+          w.key("bounds_ms");
+          w.beginArray();
+          for (const double b : s.latencyBoundsMs) w.value(b);
+          w.endArray();
+          w.key("counts");
+          w.beginArray();
+          for (const std::int64_t c : s.queueWaitBuckets) w.value(c);
+          w.endArray();
+          w.endObject();
+        }
       }));
       return;
     }
@@ -185,16 +251,11 @@ ServeStats ServeServer::stats() const {
     s.failed = failed_;
     s.rejectedQueueFull = rejectedQueueFull_;
     s.timeouts = timeouts_;
-    s.latency.count = static_cast<std::int64_t>(latenciesMs_.size());
-    if (!latenciesMs_.empty()) {
-      std::vector<double> sorted = latenciesMs_;
-      std::sort(sorted.begin(), sorted.end());
-      s.latency.meanMs = latencySumMs_ / static_cast<double>(sorted.size());
-      s.latency.p50Ms = percentileSorted(sorted, 0.50);
-      s.latency.p99Ms = percentileSorted(sorted, 0.99);
-      s.latency.p999Ms = percentileSorted(sorted, 0.999);
-      s.latency.maxMs = sorted.back();
-    }
+    fillLatency(latency_, s.latency);
+    fillLatency(queueWait_, s.queueWait);
+    s.latencyBoundsMs = latency_.bucketBounds();
+    s.latencyBuckets = latency_.bucketCounts();
+    s.queueWaitBuckets = queueWait_.bucketCounts();
   }
   s.queueDepth = pool_.queueDepth();
   s.queueCapacity = options_.queueCapacity;
@@ -209,12 +270,16 @@ void ServeServer::runSolveJob(const ServeRequest& request,
                               Clock::time_point admitted,
                               Clock::time_point deadline) {
   const Clock::time_point pickedUp = Clock::now();
+  if (obs::traceRecording()) obs::traceSetThreadName("serve-worker");
   if (expired(deadline, request, respond)) return;
 
   bool cacheHit = false;
   ContextCache::EntryPtr entry;
   try {
+    obs::TraceScope acquireSpan("serve.cache_acquire");
     entry = cache_.acquire(request.spec, &cacheHit);
+    if (acquireSpan.recording())
+      acquireSpan.arg("hit", static_cast<std::int64_t>(cacheHit));
   } catch (const std::exception& e) {
     respondError(respond, request.id, "solve", "bad_request", e.what());
     return;
@@ -265,11 +330,12 @@ void ServeServer::runSolveJob(const ServeRequest& request,
   {
     const std::scoped_lock lock(statsMutex_);
     ++completed_;
-    latenciesMs_.push_back(totalMs);
-    latencySumMs_ += totalMs;
+    latency_.record(totalMs);
+    queueWait_.record(queueMs);
   }
 
   const ResponseWriter writer(request.id, "solve");
+  const Clock::time_point respondStart = Clock::now();
   respond(writer.ok([&](JsonWriter& w) {
     w.key("instance").value(entry->instance.spec.label());
     w.key("instance_hash").value(instanceHashHex(entry->hash));
@@ -297,6 +363,9 @@ void ServeServer::runSolveJob(const ServeRequest& request,
       w.endArray();
     }
   }));
+  if (obs::traceRecording())
+    obs::traceSpanBetween("serve.respond", respondStart, Clock::now());
+  recordRequestSpans(request, "solve", admitted, pickedUp);
 }
 
 void ServeServer::runReplayJob(const ServeRequest& request,
@@ -304,6 +373,7 @@ void ServeServer::runReplayJob(const ServeRequest& request,
                                Clock::time_point admitted,
                                Clock::time_point deadline) {
   const Clock::time_point pickedUp = Clock::now();
+  if (obs::traceRecording()) obs::traceSetThreadName("serve-worker");
   if (expired(deadline, request, respond)) return;
 
   try {
@@ -316,7 +386,10 @@ void ServeServer::runReplayJob(const ServeRequest& request,
   bool cacheHit = false;
   ContextCache::EntryPtr entry;
   try {
+    obs::TraceScope acquireSpan("serve.cache_acquire");
     entry = cache_.acquire(request.spec, &cacheHit);
+    if (acquireSpan.recording())
+      acquireSpan.arg("hit", static_cast<std::int64_t>(cacheHit));
   } catch (const std::exception& e) {
     respondError(respond, request.id, "replay", "bad_request", e.what());
     return;
@@ -367,11 +440,12 @@ void ServeServer::runReplayJob(const ServeRequest& request,
   {
     const std::scoped_lock lock(statsMutex_);
     ++completed_;
-    latenciesMs_.push_back(totalMs);
-    latencySumMs_ += totalMs;
+    latency_.record(totalMs);
+    queueWait_.record(queueMs);
   }
 
   const ResponseWriter writer(request.id, "replay");
+  const Clock::time_point respondStart = Clock::now();
   respond(writer.ok([&](JsonWriter& w) {
     w.key("instance").value(entry->instance.spec.label());
     w.key("instance_hash").value(instanceHashHex(entry->hash));
@@ -387,6 +461,9 @@ void ServeServer::runReplayJob(const ServeRequest& request,
     w.key("queue_ms").value(queueMs);
     w.key("total_ms").value(totalMs);
   }));
+  if (obs::traceRecording())
+    obs::traceSpanBetween("serve.respond", respondStart, Clock::now());
+  recordRequestSpans(request, "replay", admitted, pickedUp);
 }
 
 bool ServeServer::expired(Clock::time_point deadline,

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/context_cache.hpp"
 #include "serve/protocol.hpp"
 #include "solver/solver.hpp"
@@ -75,6 +76,13 @@ struct ServeStats {
     double p999Ms = 0.0;
     double maxMs = 0.0;
   } latency;
+
+  // `detail:"full"` additions (obs layer; see docs/observability.md).
+  // The wire response appends these after the byte-stable basic keys.
+  Latency queueWait;                        ///< admission → pickup waits
+  std::vector<double> latencyBoundsMs;      ///< histogram bucket bounds
+  std::vector<std::int64_t> latencyBuckets; ///< bounds.size()+1 counts
+  std::vector<std::int64_t> queueWaitBuckets;
 };
 
 /// The daemon core. Thread-safe: `submitLine` may be called from several
@@ -133,8 +141,10 @@ private:
   mutable std::mutex statsMutex_;
   std::int64_t received_ = 0, completed_ = 0, failed_ = 0;
   std::int64_t rejectedQueueFull_ = 0, timeouts_ = 0;
-  std::vector<double> latenciesMs_;
-  double latencySumMs_ = 0.0;
+  /// Exact-sample histograms (obs::Histogram) — the percentile values are
+  /// byte-stable with the former hand-rolled nearest-rank code.
+  obs::Histogram latency_;
+  obs::Histogram queueWait_;
 
   mutable std::mutex stopMutex_;
   std::condition_variable stopCv_;

@@ -5,6 +5,8 @@
 
 #include "core/carbon_cost.hpp"
 #include "core/solve_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
 
@@ -157,8 +159,14 @@ SolveResult Solver::solve(const SolveRequest& request) const {
   }
 
   WallTimer timer;
-  RawResult raw = doSolve(request);
+  RawResult raw;
+  {
+    obs::TraceScope span("solve");
+    if (span.recording()) span.arg("solver", meta.name);
+    raw = doSolve(request);
+  }
   const double wallMs = timer.elapsedMs();
+  obs::harvestSolveStats(raw.stats);
 
   SolveResult result;
   result.schedule = std::move(raw.schedule);

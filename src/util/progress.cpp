@@ -1,0 +1,52 @@
+#include "util/progress.hpp"
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cawo {
+
+ProgressMeter::ProgressMeter(bool enabled) : ProgressMeter(enabled, std::cerr) {}
+
+ProgressMeter::ProgressMeter(bool enabled, std::ostream& out)
+    : ProgressMeter(enabled, out, Clock::now(),
+                    std::chrono::milliseconds(100)) {}
+
+ProgressMeter::ProgressMeter(bool enabled, std::ostream& out,
+                             Clock::time_point start, Clock::duration throttle)
+    : enabled_(enabled), out_(out), start_(start), throttle_(throttle) {}
+
+void ProgressMeter::tick(std::size_t done, std::size_t total,
+                         Clock::time_point now) {
+  if (!enabled_ || total == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done < total && now - last_ < throttle_) return;
+  last_ = now;
+  const double secs = std::chrono::duration<double>(now - start_).count();
+  const double rate = secs > 0 ? static_cast<double>(done) / secs : 0.0;
+  std::ostringstream line; // one write per update, no interleaving
+  line << '\r' << done << '/' << total << " cells";
+  if (rate > 0) {
+    line << "  " << formatFixed(rate, 1) << " cells/s";
+    if (done < total)
+      line << "  ETA " << formatEta(static_cast<double>(total - done) / rate);
+  }
+  line << "    ";
+  if (done >= total) line << '\n';
+  out_ << line.str() << std::flush;
+}
+
+std::string ProgressMeter::formatEta(double seconds) {
+  const auto s = static_cast<std::int64_t>(seconds + 0.5);
+  if (s >= 3600)
+    return std::to_string(s / 3600) + "h" +
+           padLeft(std::to_string((s % 3600) / 60), 2) + "m";
+  if (s >= 60)
+    return std::to_string(s / 60) + "m" +
+           padLeft(std::to_string(s % 60), 2) + "s";
+  return std::to_string(s) + "s";
+}
+
+} // namespace cawo

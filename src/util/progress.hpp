@@ -1,0 +1,57 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+/// \file progress.hpp
+/// Live progress line for long-running sweeps: a `\r`-updated
+/// "done/total cells, rate, ETA" line, throttled to ~10 updates/s so
+/// million-cell campaigns don't drown in terminal writes. Writes go to
+/// an injected stream (stderr in the CLI) so stdout stays clean for
+/// summaries and piped JSON — and so tests can capture the output.
+
+namespace cawo {
+
+class ProgressMeter {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// CLI constructor: writes to `out` (stderr by default), epoch = now.
+  explicit ProgressMeter(bool enabled);
+  ProgressMeter(bool enabled, std::ostream& out);
+
+  /// Test constructor: explicit epoch and throttle interval, so ticks
+  /// can be driven with synthetic time points.
+  ProgressMeter(bool enabled, std::ostream& out, Clock::time_point start,
+                Clock::duration throttle);
+
+  /// Thread-safe; usable directly as a CampaignProgress callback.
+  void operator()(std::size_t done, std::size_t total) {
+    tick(done, total, Clock::now());
+  }
+
+  /// The testable core: one update at an explicit "now". Rules —
+  ///  - disabled or total == 0: never writes;
+  ///  - non-final updates within the throttle interval of the previous
+  ///    write are dropped;
+  ///  - the final update (done >= total) always writes and ends the
+  ///    line with '\n' instead of leaving the carriage-return line open.
+  void tick(std::size_t done, std::size_t total, Clock::time_point now);
+
+  /// "37s", "2m 5s", "1h 2m" — rendered from fractional seconds,
+  /// rounded to the nearest second, minutes/seconds space-padded to 2.
+  static std::string formatEta(double seconds);
+
+private:
+  bool enabled_;
+  std::ostream& out_;
+  std::mutex mutex_;
+  Clock::time_point start_;
+  Clock::time_point last_;
+  Clock::duration throttle_;
+};
+
+} // namespace cawo

@@ -1,0 +1,86 @@
+// ProgressMeter (util/progress.hpp): throttle behaviour, ETA rendering,
+// the final-line newline flush, and the zero-total guard — all driven
+// with synthetic time points through the testable tick() core.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "util/progress.hpp"
+
+namespace cawo {
+namespace {
+
+using Clock = ProgressMeter::Clock;
+using std::chrono::milliseconds;
+
+Clock::time_point epoch() { return Clock::time_point{} + milliseconds(1); }
+
+TEST(ProgressMeter, DisabledNeverWrites) {
+  std::ostringstream out;
+  ProgressMeter meter(false, out, epoch(), milliseconds(100));
+  meter.tick(1, 10, epoch() + milliseconds(500));
+  meter.tick(10, 10, epoch() + milliseconds(1000));
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ProgressMeter, ZeroTotalNeverWrites) {
+  std::ostringstream out;
+  ProgressMeter meter(true, out, epoch(), milliseconds(100));
+  meter.tick(0, 0, epoch() + milliseconds(500));
+  meter.tick(5, 0, epoch() + milliseconds(1000));
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ProgressMeter, ThrottleDropsRapidNonFinalUpdates) {
+  std::ostringstream out;
+  ProgressMeter meter(true, out, epoch(), milliseconds(100));
+  meter.tick(1, 100, epoch() + milliseconds(200)); // writes (first)
+  const std::string afterFirst = out.str();
+  EXPECT_FALSE(afterFirst.empty());
+  meter.tick(2, 100, epoch() + milliseconds(250)); // within 100ms → dropped
+  meter.tick(3, 100, epoch() + milliseconds(299)); // still dropped
+  EXPECT_EQ(out.str(), afterFirst);
+  meter.tick(4, 100, epoch() + milliseconds(301)); // past throttle → writes
+  EXPECT_GT(out.str().size(), afterFirst.size());
+  EXPECT_NE(out.str().find("4/100 cells"), std::string::npos);
+}
+
+TEST(ProgressMeter, FinalUpdateBypassesThrottleAndEndsTheLine) {
+  std::ostringstream out;
+  ProgressMeter meter(true, out, epoch(), milliseconds(100));
+  meter.tick(99, 100, epoch() + milliseconds(200));
+  meter.tick(100, 100, epoch() + milliseconds(201)); // final: not dropped
+  const std::string text = out.str();
+  EXPECT_NE(text.find("100/100 cells"), std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "final update must close the \\r line";
+}
+
+TEST(ProgressMeter, LinesStartWithCarriageReturnAndShowRateAndEta) {
+  std::ostringstream out;
+  ProgressMeter meter(true, out, epoch(), milliseconds(0));
+  // 50 cells in 10s → 5.0 cells/s, 50 remaining → ETA 10s.
+  meter.tick(50, 100, epoch() + milliseconds(10000));
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '\r');
+  EXPECT_NE(text.find("50/100 cells"), std::string::npos);
+  EXPECT_NE(text.find("5.0 cells/s"), std::string::npos);
+  EXPECT_NE(text.find("ETA 10s"), std::string::npos);
+}
+
+TEST(ProgressMeter, FormatEtaRoundsAndScalesUnits) {
+  EXPECT_EQ(ProgressMeter::formatEta(0.4), "0s");
+  EXPECT_EQ(ProgressMeter::formatEta(0.6), "1s");
+  EXPECT_EQ(ProgressMeter::formatEta(37.0), "37s");
+  EXPECT_EQ(ProgressMeter::formatEta(59.4), "59s");
+  EXPECT_EQ(ProgressMeter::formatEta(125.0), "2m 5s");
+  EXPECT_EQ(ProgressMeter::formatEta(600.0), "10m 0s");
+  EXPECT_EQ(ProgressMeter::formatEta(3720.0), "1h 2m");
+  EXPECT_EQ(ProgressMeter::formatEta(7200.0), "2h 0m");
+}
+
+} // namespace
+} // namespace cawo

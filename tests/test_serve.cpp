@@ -219,6 +219,55 @@ TEST(ServeServer, EveryKindRoundTripsThroughJson) {
                  true);
 }
 
+TEST(ServeServer, StatsDetailFullAppendsObsExtrasAfterStableKeys) {
+  ServeServer server(smallOptions());
+  expectEnvelope(submitParsed(server, kSolveLine), "s1", "solve", true);
+
+  // The basic stats envelope is byte-stable: exactly these keys, in
+  // exactly this order — clients pin on it.
+  const std::vector<std::string> basicKeys = {
+      "received",      "completed",     "failed",
+      "rejected_queue_full",            "timeouts",
+      "queue_depth",   "queue_capacity", "workers",
+      "busy",          "cache_hits",    "cache_misses",
+      "cache_evictions",               "cache_size",
+      "cache_capacity", "latency"};
+  const JsonValue basic =
+      submitParsed(server, "{\"kind\":\"stats\",\"id\":\"b\"}");
+  expectEnvelope(basic, "b", "stats", true);
+  EXPECT_EQ(basic.at("result").objectKeys(), basicKeys);
+
+  // detail:"full" appends the obs extras — same prefix, three more keys.
+  const JsonValue full = submitParsed(
+      server, "{\"kind\":\"stats\",\"id\":\"f\",\"detail\":\"full\"}");
+  expectEnvelope(full, "f", "stats", true);
+  std::vector<std::string> fullKeys = basicKeys;
+  fullKeys.push_back("queue_wait");
+  fullKeys.push_back("latency_histogram");
+  fullKeys.push_back("queue_wait_histogram");
+  EXPECT_EQ(full.at("result").objectKeys(), fullKeys);
+
+  // The queue-wait block mirrors the latency block's shape, and the
+  // histograms partition the completed requests across the bounds.
+  const JsonValue& queueWait = full.at("result").at("queue_wait");
+  EXPECT_EQ(queueWait.objectKeys(), full.at("result").at("latency").objectKeys());
+  EXPECT_EQ(queueWait.at("count").asInt(), 1);
+  const JsonValue& histogram = full.at("result").at("latency_histogram");
+  const auto& bounds = histogram.at("bounds_ms").asArray();
+  const auto& counts = histogram.at("counts").asArray();
+  ASSERT_FALSE(bounds.empty());
+  ASSERT_EQ(counts.size(), bounds.size() + 1);
+  std::int64_t total = 0;
+  for (const JsonValue& c : counts) total += c.asInt();
+  EXPECT_EQ(total, 1);
+
+  // Any other detail value is a structured rejection.
+  const JsonValue bad = submitParsed(
+      server, "{\"kind\":\"stats\",\"id\":\"x\",\"detail\":\"verbose\"}");
+  expectEnvelope(bad, "x", "stats", false);
+  EXPECT_EQ(bad.at("error").asString(), "bad_request");
+}
+
 TEST(ServeServer, MalformedInputYieldsErrorResponsesNotCrashes) {
   ServeOptions options = smallOptions();
   options.maxRequestBytes = 256;

@@ -1,0 +1,193 @@
+// The telemetry layer's hard constraint (ISSUE: tracing must never
+// change schedules): all 16 CaWoSched variants produce bit-identical
+// schedules with the trace recorder Off, Idle and Recording, at
+// threads ∈ {1, 8}. Plus a golden-shape check on the recorded trace:
+// valid Chrome trace-event JSON whose child spans nest within their
+// parents on every lane.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/asap.hpp"
+#include "core/cawosched.hpp"
+#include "core/solve_context.hpp"
+#include "exp/json.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace cawo {
+namespace {
+
+using obs::TraceRecorder;
+using obs::TraceState;
+
+/// Same random-DAG construction as the parallel-determinism suite.
+EnhancedGraph randomDag(int n, int numProcs, double density, Rng& rng) {
+  std::vector<std::pair<ProcId, Time>> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    tasks.push_back({static_cast<ProcId>(rng.uniformInt(0, numProcs - 1)),
+                     rng.uniformInt(1, 9)});
+  std::vector<std::pair<TaskId, TaskId>> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.uniformReal(0.0, 1.0) < density)
+        edges.push_back({static_cast<TaskId>(i), static_cast<TaskId>(j)});
+  std::vector<Power> idle, work;
+  for (int p = 0; p < numProcs; ++p) {
+    idle.push_back(rng.uniformInt(1, 3));
+    work.push_back(rng.uniformInt(1, 6));
+  }
+  return testing::makeGc(tasks, edges, idle, work);
+}
+
+struct Fixture {
+  EnhancedGraph gc;
+  PowerProfile profile;
+  Time deadline = 0;
+};
+
+Fixture makeFixture(std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture f{randomDag(40, 3, 0.08, rng), PowerProfile{}, 0};
+  f.deadline = 2 * asapMakespan(f.gc) + 5;
+  f.profile = testing::randomProfile(f.deadline, 12, 2, 14, rng);
+  return f;
+}
+
+class TraceScheduleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceRecorder::global().setState(TraceState::Off);
+    TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::global().setState(TraceState::Off);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(TraceScheduleTest, SchedulesBitIdenticalAcrossTraceStates) {
+  const std::vector<VariantSpec> variants = allVariants();
+  ASSERT_EQ(variants.size(), 16u);
+  const CaWoParams params;
+  const Fixture f = makeFixture(101);
+
+  // Reference: tracing Off.
+  std::vector<std::vector<Schedule>> reference;
+  for (const unsigned threads : {1u, 8u}) {
+    const SolveContext ctx(f.gc, f.profile, f.deadline);
+    reference.push_back(runVariants(ctx, variants, params, threads));
+  }
+
+  for (const TraceState state : {TraceState::Idle, TraceState::Recording}) {
+    TraceRecorder::global().clear();
+    TraceRecorder::global().setState(state);
+    std::size_t t = 0;
+    for (const unsigned threads : {1u, 8u}) {
+      const SolveContext ctx(f.gc, f.profile, f.deadline);
+      const std::vector<Schedule> traced =
+          runVariants(ctx, variants, params, threads);
+      ASSERT_EQ(traced.size(), variants.size());
+      for (std::size_t i = 0; i < variants.size(); ++i)
+        EXPECT_EQ(traced[i].starts(), reference[t][i].starts())
+            << "variant " << variants[i].name() << " diverged at threads="
+            << threads << " with trace state " << static_cast<int>(state);
+      ++t;
+    }
+    TraceRecorder::global().setState(TraceState::Off);
+#ifndef CAWO_OBS_DISABLED
+    if (state == TraceState::Idle)
+      EXPECT_EQ(TraceRecorder::global().eventCount(), 0u)
+          << "Idle must not store events";
+    else
+      EXPECT_GT(TraceRecorder::global().eventCount(), 0u)
+          << "Recording stored nothing — instrumentation is dead";
+#endif
+  }
+}
+
+TEST_F(TraceScheduleTest, RecordedTraceHasGoldenShape) {
+#ifdef CAWO_OBS_DISABLED
+  GTEST_SKIP() << "CAWO_OBS_DISABLED: span sites compiled out";
+#endif
+  const std::vector<VariantSpec> variants = allVariants();
+  const CaWoParams params;
+  const Fixture f = makeFixture(7);
+
+  TraceRecorder::global().setState(TraceState::Recording);
+  {
+    const SolveContext ctx(f.gc, f.profile, f.deadline);
+    (void)runVariants(ctx, variants, params, 8);
+  }
+  TraceRecorder::global().setState(TraceState::Off);
+
+  std::ostringstream out;
+  TraceRecorder::global().writeChromeTrace(out);
+  const JsonValue doc = JsonValue::parse(out.str()); // valid JSON
+  EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+  const auto& events = doc.at("traceEvents").asArray();
+  ASSERT_FALSE(events.empty());
+
+  // Collect complete events per lane; check envelope fields as we go.
+  struct Span {
+    double ts, dur;
+    std::string name;
+  };
+  std::map<std::int64_t, std::vector<Span>> lanes;
+  bool sawVariantSpan = false, sawGreedy = false;
+  for (const JsonValue& ev : events) {
+    const std::string ph = ev.at("ph").asString();
+    if (ph == "M") continue;
+    ASSERT_TRUE(ev.has("pid"));
+    ASSERT_TRUE(ev.has("tid"));
+    ASSERT_TRUE(ev.has("ts"));
+    if (ph != "X") continue;
+    ASSERT_TRUE(ev.has("dur"));
+    EXPECT_GE(ev.at("dur").asDouble(), 0.0);
+    const std::string name = ev.at("name").asString();
+    if (name == "solve.variant") sawVariantSpan = true;
+    if (name == "greedy") sawGreedy = true;
+    lanes[ev.at("tid").asInt()].push_back(
+        {ev.at("ts").asDouble(), ev.at("dur").asDouble(), name});
+  }
+  EXPECT_TRUE(sawVariantSpan);
+  EXPECT_TRUE(sawGreedy);
+
+  // Nesting invariant per lane: spans sorted by (ts asc, dur desc) form a
+  // containment forest — a span starting inside another must end within
+  // it (child ts+dur <= parent ts+dur).
+  for (auto& [tid, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.dur > b.dur;
+    });
+    std::vector<const Span*> stack;
+    for (const Span& s : spans) {
+      while (!stack.empty() &&
+             s.ts >= stack.back()->ts + stack.back()->dur - 1e-9)
+        stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(s.ts + s.dur,
+                  stack.back()->ts + stack.back()->dur + 1e-6)
+            << "span " << s.name << " overflows its parent "
+            << stack.back()->name << " on lane " << tid;
+      }
+      stack.push_back(&s);
+    }
+  }
+
+  // The hierarchical summary names the greedy under its variant path.
+  std::ostringstream summary;
+  TraceRecorder::global().writeSummary(summary);
+  EXPECT_NE(summary.str().find("solve.variant/greedy"), std::string::npos);
+}
+
+} // namespace
+} // namespace cawo

@@ -70,6 +70,8 @@
 #include "exp/store.hpp"
 #include "exp/summary.hpp"
 #include "heft/heft.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "online/policy.hpp"
 #include "online/replay.hpp"
 #include "online/result_json.hpp"
@@ -82,6 +84,7 @@
 #include "solver/registry.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
+#include "util/progress.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
 #include "workflow/dot_io.hpp"
@@ -89,56 +92,6 @@
 namespace {
 
 using namespace cawo;
-
-/// Live campaign progress on stderr: a `\r`-updated "done/total cells,
-/// rate, ETA" line, throttled to ~10 updates/s so million-cell sweeps
-/// don't drown in terminal writes. stderr keeps stdout clean for
-/// summaries and piped JSON.
-class ProgressMeter {
-public:
-  explicit ProgressMeter(bool enabled)
-      : enabled_(enabled), start_(std::chrono::steady_clock::now()) {}
-
-  /// Thread-safe; usable directly as a CampaignProgress callback.
-  void operator()(std::size_t done, std::size_t total) {
-    if (!enabled_ || total == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto now = std::chrono::steady_clock::now();
-    if (done < total && now - last_ < std::chrono::milliseconds(100)) return;
-    last_ = now;
-    const double secs = std::chrono::duration<double>(now - start_).count();
-    const double rate =
-        secs > 0 ? static_cast<double>(done) / secs : 0.0;
-    std::ostringstream line; // one write per update, no interleaving
-    line << '\r' << done << '/' << total << " cells";
-    if (rate > 0) {
-      line << "  " << formatFixed(rate, 1) << " cells/s";
-      if (done < total)
-        line << "  ETA " << formatEta(static_cast<double>(total - done) /
-                                      rate);
-    }
-    line << "    ";
-    if (done >= total) line << '\n';
-    std::cerr << line.str() << std::flush;
-  }
-
-private:
-  static std::string formatEta(double seconds) {
-    const auto s = static_cast<std::int64_t>(seconds + 0.5);
-    if (s >= 3600)
-      return std::to_string(s / 3600) + "h" +
-             padLeft(std::to_string((s % 3600) / 60), 2) + "m";
-    if (s >= 60)
-      return std::to_string(s / 60) + "m" +
-             padLeft(std::to_string(s % 60), 2) + "s";
-    return std::to_string(s) + "s";
-  }
-
-  bool enabled_;
-  std::mutex mutex_;
-  std::chrono::steady_clock::time_point start_;
-  std::chrono::steady_clock::time_point last_;
-};
 
 /// Parse `--shard=i/N` (0-based index, total count) into store options.
 void parseShardFlag(const std::string& value, StoreOptions& options) {
@@ -171,6 +124,13 @@ int runCampaignToStoreCommand(const CliArgs& args, const CampaignSpec& spec,
   CAWO_REQUIRE(!dir.empty(), "--store wants a directory path");
 
   CampaignStoreWriter store(dir, spec, storeOptions);
+  // Multi-process sweeps: label this shard's trace lane so merged traces
+  // show the shards side by side (pid 1 is the unsharded default).
+  if (store.shardCount() > 1)
+    obs::TraceRecorder::global().setProcess(
+        static_cast<int>(store.shardIndex()) + 1,
+        "cawosched shard " + std::to_string(store.shardIndex()) + "/" +
+            std::to_string(store.shardCount()));
   if (!quiet) {
     std::cerr << "store: " << dir << " — shard " << store.shardIndex()
               << "/" << store.shardCount() << " owns " << store.shardCells()
@@ -194,6 +154,11 @@ int runCampaignToStoreCommand(const CliArgs& args, const CampaignSpec& spec,
               << stats.presentBefore << " were already durable";
     if (stats.cappedByMaxCells) std::cerr << " [capped by --max-cells]";
     std::cerr << "\n";
+    if (stats.wallSec > 0.0)
+      std::cerr << "throughput: " << formatFixed(stats.cellsPerSec, 1)
+                << " cells/s, " << formatFixed(stats.recordsPerSec, 1)
+                << " records/s durable, " << stats.fsyncs << " fsyncs in "
+                << formatFixed(stats.wallSec, 2) << " s\n";
   }
   store.flush();
 
@@ -229,7 +194,8 @@ int runCampaignCommand(int argc, const char* const* argv) {
                       "scenarios", "deadline-factors", "seeds", "intervals",
                       "algos", "threads", "block-size", "ls-radius", "online",
                       "actual", "policies", "runtime-noise", "store", "shard",
-                      "resume", "group-commit", "max-cells"},
+                      "resume", "group-commit", "max-cells", "trace",
+                      "trace-summary"},
                      "cawosched-cli campaign");
   if (args.has("help")) {
     std::cout
@@ -258,9 +224,15 @@ int runCampaignCommand(int argc, const char* const* argv) {
            "result store\ninstead of RAM: --shard=i/N partitions the grid "
            "across N independent processes,\n--resume completes an "
            "interrupted run (only missing cells are solved), and\n"
-           "`cawosched-cli query` filters the result (see docs/cli.md).\n";
+           "`cawosched-cli query` filters the result (see docs/cli.md).\n"
+           "--trace=FILE writes a Perfetto-loadable Chrome trace of the "
+           "run;\n--trace-summary prints a per-span rollup to stderr "
+           "(docs/observability.md).\n";
     return 0;
   }
+
+  obs::TraceSession trace(args.getString("trace", ""),
+                          args.has("trace-summary"));
 
   CampaignSpec spec;
   if (args.has("campaign"))
@@ -489,7 +461,8 @@ int runReplayCommand(int argc, const char* const* argv) {
                       "nodes-per-type", "intervals", "deadline-factor",
                       "seed", "forecast", "actual", "policy", "algo",
                       "runtime-noise", "runtime-seed", "block-size",
-                      "ls-radius", "alpha", "out"},
+                      "ls-radius", "alpha", "out", "trace",
+                      "trace-summary"},
                      "cawosched-cli replay");
   if (args.has("help")) {
     std::cout
@@ -506,10 +479,15 @@ int runReplayCommand(int argc, const char* const* argv) {
            "+noise modifier is\nread as forecast error) and execution is "
            "billed against --actual (defaults to\nthe forecast's noisy "
            "counterpart). Each --policy runs one replay; see\n"
-           "--list-policies and docs/cli.md for a walkthrough.\n";
+           "--list-policies and docs/cli.md for a walkthrough.\n"
+           "--trace=FILE / --trace-summary record per-event and "
+           "per-re-solve spans\n(docs/observability.md).\n";
     return 0;
   }
   if (args.has("list-policies")) return listPolicies();
+
+  obs::TraceSession trace(args.getString("trace", ""),
+                          args.has("trace-summary"));
 
   InstanceSpec spec;
   spec.family = familyFromName(args.getString("family", "atacseq"));
@@ -628,7 +606,8 @@ int runServeCommand(int argc, const char* const* argv) {
                      {"help", "port", "workers", "threads",
                       "queue-capacity", "cache-capacity",
                       "default-timeout-ms", "max-request-bytes",
-                      "block-size", "ls-radius", "quiet"},
+                      "block-size", "ls-radius", "quiet", "trace",
+                      "trace-summary"},
                      "cawosched-cli serve");
   if (args.has("help")) {
     std::cout
@@ -650,9 +629,15 @@ int runServeCommand(int argc, const char* const* argv) {
            "request, or on stdin EOF when no --port is\ngiven. Repeated "
            "instances hit an LRU SolveContext cache (watch the `stats`\n"
            "request's cache_hits). Diagnostics go to stderr; stdout "
-           "carries protocol\nbytes only.\n";
+           "carries protocol\nbytes only.\n"
+           "--trace=FILE writes per-request span trees (admission, queue "
+           "wait, cache\nacquire, solve, respond) on exit; --trace-summary "
+           "prints the rollup\n(docs/observability.md).\n";
     return 0;
   }
+
+  obs::TraceSession trace(args.getString("trace", ""),
+                          args.has("trace-summary"));
 
   ServeOptions options;
   options.workers = static_cast<unsigned>(args.getInt("workers", 0));
@@ -739,7 +724,8 @@ int main(int argc, char** argv) {
          "nodes-per-type", "scenario", "intervals", "green-heft", "alpha",
          "block-size", "ls-radius", "ls-restarts", "ls-seed",
          "bnb-max-nodes", "bnb-time-limit", "threads", "list-algos",
-         "list-scenarios", "out", "gantt", "seed", "help"},
+         "list-scenarios", "out", "gantt", "seed", "help", "trace",
+         "trace-summary"},
         "cawosched-cli");
 
     if (args.has("list-algos")) return listAlgos();
@@ -769,9 +755,14 @@ int main(int argc, char** argv) {
              "(see serve --help)\n"
              "SPEC is any registered profile source, e.g. S1, duck, "
              "sine:period=24,amp=0.5,\ntrace:grid.csv,repeat=1 — see "
-             "--list-scenarios.\n";
+             "--list-scenarios.\n"
+             "--trace=FILE writes a Perfetto-loadable Chrome trace of the "
+             "solve;\n--trace-summary prints a per-span rollup to stderr.\n";
       return args.has("help") ? 0 : 2;
     }
+
+    obs::TraceSession trace(args.getString("trace", ""),
+                            args.has("trace-summary"));
 
     const TaskGraph workflow = readDotFile(args.getString("workflow", ""));
     const Platform cluster = Platform::scaled(

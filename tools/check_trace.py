@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace=FILE.
+
+Checks, per (pid, tid) lane, that the complete ("ph": "X") spans form a
+proper containment forest: sorted by (ts asc, dur desc), every span that
+starts inside another span must also end inside it. Also checks the
+envelope fields every event must carry. Used by CI on the traced
+campaign / serve smokes; run locally as
+
+    python3 tools/check_trace.py build/TRACE_campaign.json \
+        --require campaign.cell --require greedy
+
+Exits non-zero (with a diagnostic) on the first malformed lane.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+# A child may overrun its parent by this much (µs): the recorder takes
+# the child's end timestamp before the parent's, so exact ties are legal
+# but clock granularity can leave sub-microsecond inversions.
+SLACK_US = 1e-3
+
+
+def fail(msg):
+    print("check_trace: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear at least once (repeatable)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc:
+        fail("no traceEvents array — not a Chrome trace")
+    events = doc["traceEvents"]
+
+    lanes = collections.defaultdict(list)
+    names = collections.Counter()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            fail("event %d has no ph field" % i)
+        if ph == "M":
+            continue
+        for field in ("name", "pid", "tid", "ts"):
+            if field not in ev:
+                fail("event %d (ph=%s) lacks %r" % (i, ph, field))
+        if ph in ("b", "e"):
+            # Nestable-async track events (per-request spans): paired by
+            # (cat, id), not lane-nested — count begins, skip containment.
+            if "id" not in ev or "cat" not in ev:
+                fail("async event %d (%r) lacks id/cat" % (i, ev.get("name")))
+            if ph == "b":
+                names[ev["name"]] += 1
+            continue
+        if ph != "X":
+            continue
+        if "dur" not in ev or ev["dur"] < 0:
+            fail("span %r (event %d) has missing/negative dur" % (ev["name"], i))
+        names[ev["name"]] += 1
+        lanes[(ev["pid"], ev["tid"])].append(ev)
+
+    for name in args.require:
+        if not names[name]:
+            fail("required span %r never recorded" % name)
+
+    for (pid, tid), spans in sorted(lanes.items()):
+        spans.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        stack = []  # open ancestors, innermost last
+        for ev in spans:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - SLACK_US:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                parent_end = parent["ts"] + parent["dur"]
+                if end > parent_end + SLACK_US:
+                    fail(
+                        "lane pid=%s tid=%s: span %r [%s, %s] overflows its "
+                        "parent %r [%s, %s]"
+                        % (pid, tid, ev["name"], ev["ts"], end, parent["name"],
+                           parent["ts"], parent_end)
+                    )
+            stack.append(ev)
+
+    total = sum(names.values())
+    print(
+        "check_trace: OK: %d spans (%d distinct names) across %d lanes"
+        % (total, len(names), len(lanes))
+    )
+    for name, count in names.most_common(10):
+        print("  %6d  %s" % (count, name))
+
+
+if __name__ == "__main__":
+    main()
